@@ -1,0 +1,59 @@
+// Figure 6 — "Influence of the number K of clustered classes" on FedHiSyn.
+//
+// MNIST-like and CIFAR10-like suites, 50% participation, Dirichlet(0.3);
+// K swept over the paper's {1, 10, 20, 30, 40, 50} (scaled down with the
+// reduced fleet).  Metric: final global-model accuracy.
+//
+// Expected shape (paper): accuracy rises from K=1, peaks at a moderate K
+// (10 with 100 devices), then falls as rings become too small.
+#include <cstdio>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/table.hpp"
+#include "core/fedhisyn_algo.hpp"
+#include "core/presets.hpp"
+#include "core/runner.hpp"
+
+int main() {
+  using namespace fedhisyn;
+  const bool full = full_scale_enabled();
+  const std::vector<std::size_t> ks =
+      full ? std::vector<std::size_t>{1, 10, 20, 30, 40, 50}
+           : std::vector<std::size_t>{1, 3, 5, 8, 10, 15};
+
+  for (const char* dataset : {"mnist", "cifar10"}) {
+    std::printf("== Figure 6: FedHiSyn final accuracy vs K (%s, 50%% participation) ==\n",
+                dataset);
+    core::BuildConfig config;
+    config.dataset = dataset;
+    config.scale = core::default_scale(dataset, full);
+    config.partition.iid = false;
+    config.partition.beta = 0.3;
+    config.fleet_kind = core::FleetKind::kUniformEpochs;
+    config.use_cnn = full && std::string(dataset) != "mnist";
+    config.seed = 61;
+    const auto experiment = core::build_experiment(config);
+
+    Table table({"K", "final acc", "best acc", "d2d transfers/round"});
+    for (const auto k : ks) {
+      core::FlOptions opts;
+      opts.seed = 61;
+      opts.participation = 0.5;
+      opts.clusters = k;
+      core::FedHiSynAlgo algorithm(experiment.context(opts));
+      core::ExperimentRunner runner(config.scale.rounds, 0.99f);
+      runner.set_eval_every(5);
+      const auto result = runner.run(algorithm);
+      table.add_row({"K=" + std::to_string(k), Table::fmt_pct(result.final_accuracy),
+                     Table::fmt_pct(result.best_accuracy),
+                     Table::fmt_f(algorithm.comm().device_to_device_units() /
+                                      config.scale.rounds,
+                                  1)});
+    }
+    table.print();
+    table.maybe_write_csv(std::string("fig6_") + dataset);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// google-benchmark micro-benchmarks for the substrate kernels: GEMM shapes
+// used by the models, conv forward/backward, one local-training job, one
+// FedHiSyn round.  Not a paper artefact — tracks substrate performance so
+// regressions in the simulator's hot loops are visible.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/fedhisyn_algo.hpp"
+#include "core/presets.hpp"
+#include "core/trainer.hpp"
+#include "nn/models.hpp"
+#include "tensor/gemm.hpp"
+
+namespace {
+
+using namespace fedhisyn;
+
+void BM_GemmMlpForward(benchmark::State& state) {
+  const std::int64_t batch = state.range(0);
+  Rng rng(1);
+  std::vector<float> a(static_cast<std::size_t>(batch * 64));
+  std::vector<float> b(64 * 200);
+  std::vector<float> c(static_cast<std::size_t>(batch * 200));
+  for (auto& x : a) x = static_cast<float>(rng.normal());
+  for (auto& x : b) x = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    gemm(a, b, c, batch, 64, 200);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch * 64 * 200);
+}
+BENCHMARK(BM_GemmMlpForward)->Arg(10)->Arg(50)->Arg(256);
+
+void BM_MlpTrainStep(benchmark::State& state) {
+  const auto net = nn::make_mlp(64, 10);
+  Rng rng(2);
+  auto weights = net.init_weights(rng);
+  Tensor x({50, 64});
+  for (std::int64_t i = 0; i < x.numel(); ++i) x.at(i) = static_cast<float>(rng.normal());
+  std::vector<std::int32_t> y(50);
+  for (auto& label : y) label = static_cast<std::int32_t>(rng.uniform_index(10));
+  nn::Workspace ws;
+  std::vector<float> grad(weights.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.loss_and_grad(weights, x, y, grad, ws));
+  }
+}
+BENCHMARK(BM_MlpTrainStep);
+
+void BM_CnnTrainStep(benchmark::State& state) {
+  const auto net = nn::make_cnn({3, 8, 8}, 10);
+  Rng rng(3);
+  auto weights = net.init_weights(rng);
+  Tensor x({16, 3, 8, 8});
+  for (std::int64_t i = 0; i < x.numel(); ++i) x.at(i) = static_cast<float>(rng.normal());
+  std::vector<std::int32_t> y(16);
+  for (auto& label : y) label = static_cast<std::int32_t>(rng.uniform_index(10));
+  nn::Workspace ws;
+  std::vector<float> grad(weights.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.loss_and_grad(weights, x, y, grad, ws));
+  }
+}
+BENCHMARK(BM_CnnTrainStep);
+
+void BM_FedHiSynRound(benchmark::State& state) {
+  core::BuildConfig config;
+  config.dataset = "mnist";
+  config.scale.devices = 20;
+  config.scale.train_samples_per_device = 30;
+  config.scale.test_samples = 100;
+  config.partition.iid = false;
+  config.partition.beta = 0.3;
+  const auto experiment = core::build_experiment(config);
+  core::FlOptions opts;
+  opts.clusters = 4;
+  core::FedHiSynAlgo algorithm(experiment.context(opts));
+  for (auto _ : state) {
+    algorithm.run_round();
+  }
+  state.SetLabel("20 devices, 30 samples each");
+}
+BENCHMARK(BM_FedHiSynRound)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Bring-your-own-everything: plugging a custom dataset, a custom model and a
+// custom fleet into the FL algorithms without the presets layer — the path a
+// downstream user takes to run FedHiSyn on their own problem.
+//
+// The "sensor fleet" scenario: 12 gateways collect 24-dimensional sensor
+// windows from 6 machine states; gateways at remote sites are slower and
+// each site sees a biased mix of machine states (natural Non-IID).
+//
+// Run: ./build/examples/custom_dataset
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/factory.hpp"
+#include "core/runner.hpp"
+#include "data/divergence.hpp"
+#include "data/partition.hpp"
+#include "nn/models.hpp"
+
+int main() {
+  using namespace fedhisyn;
+  Rng rng(2024);
+
+  // --- 1. A hand-rolled dataset (no synthetic presets involved). ---------
+  // Six machine states, each a noisy sinusoid template over 24 samples.
+  constexpr std::int64_t kDim = 24;
+  constexpr std::int64_t kClasses = 6;
+  constexpr std::int64_t kTrain = 720;
+  constexpr std::int64_t kTest = 240;
+  auto fill = [&](data::Dataset& set, std::int64_t count) {
+    set.n_classes = kClasses;
+    set.x.resize({count, kDim});
+    set.y.resize(static_cast<std::size_t>(count));
+    for (std::int64_t i = 0; i < count; ++i) {
+      const auto label = static_cast<std::int32_t>(i % kClasses);
+      set.y[static_cast<std::size_t>(i)] = label;
+      // Nearby frequencies + phase jitter + heavy noise: the states overlap
+      // enough that a single gateway's biased shard cannot separate them.
+      const double freq = 1.0 + 0.25 * label;
+      const double phase = rng.uniform(0.0, 1.5);
+      for (std::int64_t d = 0; d < kDim; ++d) {
+        const double t = static_cast<double>(d) / kDim;
+        set.x.at(i * kDim + d) = static_cast<float>(
+            std::sin(2.0 * 3.14159265 * freq * t + phase) + rng.normal(0.0, 0.9));
+      }
+    }
+  };
+  data::FederatedData fed;
+  fill(fed.train, kTrain);
+  fill(fed.test, kTest);
+
+  // --- 2. Non-IID partition over 12 gateways. ----------------------------
+  fed.shards = data::partition_dirichlet(fed.train, 12, /*beta=*/0.4, rng);
+  const auto divergence = data::per_device_divergence(fed.train, fed.shards);
+  std::printf("per-gateway label divergence (TV distance to global):\n  ");
+  for (const auto d : divergence) std::printf("%.2f ", d);
+  std::printf("\n\n");
+
+  // --- 3. A custom model: small MLP sized for the sensor windows. --------
+  const auto network = nn::make_mlp(kDim, kClasses, {32, 16});
+
+  // --- 4. A custom fleet: 4 fast on-site gateways, 8 slow remote ones. ---
+  sim::Fleet fleet(12);
+  for (std::size_t d = 0; d < 12; ++d) {
+    fleet[d].id = d;
+    fleet[d].epoch_time = d < 4 ? 1.0 : 3.0;
+  }
+
+  // --- 5. Wire it all into an FlContext and run two methods. -------------
+  core::FlContext ctx;
+  ctx.network = &network;
+  ctx.fed = &fed;
+  ctx.fleet = &fleet;
+  ctx.opts.lr = 0.1f;
+  ctx.opts.batch_size = 20;
+  ctx.opts.local_epochs = 3;
+  ctx.opts.clusters = 2;  // fast sites vs remote sites
+  ctx.opts.seed = 2024;
+
+  Table table({"method", "final acc", "rounds to 60%", "d2d transfers"});
+  for (const char* method : {"FedHiSyn", "SCAFFOLD", "FedAvg"}) {
+    auto algorithm = core::make_algorithm(method, ctx);
+    core::ExperimentRunner runner(/*rounds=*/20, /*target=*/0.60f);
+    const auto result = runner.run(*algorithm);
+    table.add_row({method, Table::fmt_pct(result.final_accuracy),
+                   result.rounds_to_target.has_value()
+                       ? Table::fmt_i(*result.rounds_to_target)
+                       : "X",
+                   Table::fmt_f(algorithm->comm().device_to_device_units(), 0)});
+  }
+  table.print();
+  std::printf("\nFedHiSyn exploits the idle fast gateways via intra-cluster rings;\n"
+              "the server traffic is identical to FedAvg's per round.\n");
+  return 0;
+}

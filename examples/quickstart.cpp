@@ -1,0 +1,59 @@
+// Quickstart: train FedHiSyn and FedAvg on the MNIST-like synthetic suite
+// with a heterogeneous 100-device fleet and Non-IID Dirichlet(0.3) data, and
+// print the accuracy/communication trajectory of both.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "common/env.hpp"
+#include "common/table.hpp"
+#include "core/factory.hpp"
+#include "core/presets.hpp"
+#include "core/runner.hpp"
+
+int main() {
+  using namespace fedhisyn;
+
+  // 1. Build the experiment: synthetic MNIST stand-in, Dirichlet(0.3)
+  //    label skew, fleet with 5..50 achievable epochs per round.
+  core::BuildConfig config;
+  config.dataset = "mnist";
+  config.scale = core::default_scale("mnist", full_scale_enabled());
+  config.partition.iid = false;
+  config.partition.beta = 0.3;
+  config.fleet_kind = core::FleetKind::kUniformEpochs;
+  config.seed = 7;
+  const auto experiment = core::build_experiment(config);
+
+  // 2. Shared hyper-parameters (paper §6.1).
+  core::FlOptions opts;
+  opts.lr = 0.1f;
+  opts.batch_size = 50;
+  opts.local_epochs = 5;
+  opts.participation = 1.0;
+  opts.clusters = 10;
+  opts.seed = 7;
+
+  // 3. Run both methods for the same number of rounds.
+  const float target = core::target_accuracy("mnist");
+  Table table({"method", "round", "test acc", "comm (FedAvg rounds)"});
+  for (const char* method : {"FedHiSyn", "FedAvg"}) {
+    auto algorithm = core::make_algorithm(method, experiment.context(opts));
+    core::ExperimentRunner runner(config.scale.rounds, target);
+    runner.set_eval_every(5).set_on_round([&](const core::RoundRecord& record) {
+      table.add_row({method, Table::fmt_i(record.round), Table::fmt_pct(record.accuracy),
+                     Table::fmt_f(record.comm_rounds, 1)});
+    });
+    const auto result = runner.run(*algorithm);
+    std::printf("%s: final %.2f%%, reached %.0f%% target at %s normalised rounds\n",
+                method, result.final_accuracy * 100.0, target * 100.0,
+                result.comm_to_target.has_value()
+                    ? Table::fmt_f(*result.comm_to_target, 1).c_str()
+                    : "X (never)");
+  }
+  std::printf("\n");
+  table.print();
+  return 0;
+}

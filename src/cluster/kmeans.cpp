@@ -1,0 +1,111 @@
+#include "cluster/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "common/check.hpp"
+
+namespace fedhisyn::cluster {
+
+KMeansResult kmeans_1d(const std::vector<double>& values, std::size_t k, Rng& rng,
+                       int max_iterations) {
+  FEDHISYN_CHECK(!values.empty());
+  FEDHISYN_CHECK(k >= 1);
+
+  // Can't have more clusters than distinct values.
+  std::set<double> distinct(values.begin(), values.end());
+  k = std::min(k, distinct.size());
+
+  // k-means++ seeding.
+  std::vector<double> centroids;
+  centroids.reserve(k);
+  centroids.push_back(values[rng.uniform_index(values.size())]);
+  std::vector<double> dist_sq(values.size());
+  while (centroids.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      double best = std::numeric_limits<double>::max();
+      for (const double c : centroids) {
+        best = std::min(best, (values[i] - c) * (values[i] - c));
+      }
+      dist_sq[i] = best;
+      total += best;
+    }
+    if (total <= 0.0) break;  // all remaining points coincide with centroids
+    double target = rng.uniform() * total;
+    std::size_t chosen = values.size() - 1;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      target -= dist_sq[i];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(values[chosen]);
+  }
+  k = centroids.size();
+
+  // Lloyd iterations.
+  KMeansResult result;
+  result.assignment.assign(values.size(), 0);
+  int iter = 0;
+  for (; iter < max_iterations; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      std::size_t best = 0;
+      double best_d = std::numeric_limits<double>::max();
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = std::abs(values[i] - centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (result.assignment[i] != best) {
+        result.assignment[i] = best;
+        changed = true;
+      }
+    }
+    std::vector<double> sums(k, 0.0);
+    std::vector<std::int64_t> counts(k, 0);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      sums[result.assignment[i]] += values[i];
+      ++counts[result.assignment[i]];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] > 0) centroids[c] = sums[c] / static_cast<double>(counts[c]);
+    }
+    if (!changed && iter > 0) break;
+  }
+
+  // Drop empty clusters, sort ascending, renumber assignments.
+  std::vector<std::int64_t> counts(k, 0);
+  for (const auto a : result.assignment) ++counts[a];
+  std::vector<std::pair<double, std::size_t>> live;  // (centroid, old index)
+  for (std::size_t c = 0; c < k; ++c) {
+    if (counts[c] > 0) live.emplace_back(centroids[c], c);
+  }
+  std::sort(live.begin(), live.end());
+  std::vector<std::size_t> remap(k, 0);
+  result.centroids.clear();
+  for (std::size_t new_c = 0; new_c < live.size(); ++new_c) {
+    remap[live[new_c].second] = new_c;
+    result.centroids.push_back(live[new_c].first);
+  }
+  for (auto& a : result.assignment) a = remap[a];
+  result.k = live.size();
+  result.iterations = iter;
+  return result;
+}
+
+std::vector<std::vector<std::size_t>> group_by_cluster(const KMeansResult& result) {
+  std::vector<std::vector<std::size_t>> groups(result.k);
+  for (std::size_t i = 0; i < result.assignment.size(); ++i) {
+    groups[result.assignment[i]].push_back(i);
+  }
+  return groups;
+}
+
+}  // namespace fedhisyn::cluster

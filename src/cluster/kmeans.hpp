@@ -1,0 +1,31 @@
+// 1-D k-means used for both FedHiSyn device clustering (by local-training
+// time, paper §4.1) and FedAT tiering.  k-means++ seeding, Lloyd iterations,
+// deterministic given the Rng.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fedhisyn::cluster {
+
+struct KMeansResult {
+  std::vector<std::size_t> assignment;  // assignment[i] = cluster of point i
+  std::vector<double> centroids;        // ascending order
+  std::size_t k = 0;                    // actual number of non-empty clusters
+  int iterations = 0;
+};
+
+/// Cluster 1-D values into (at most) k groups.  Centroids are sorted
+/// ascending and assignments renumbered accordingly, so cluster 0 is always
+/// the group with the smallest values (the fastest devices when values are
+/// training times).  If there are fewer than k distinct values, the result
+/// has fewer clusters.
+KMeansResult kmeans_1d(const std::vector<double>& values, std::size_t k, Rng& rng,
+                       int max_iterations = 100);
+
+/// Group point indices by cluster: result[c] = indices assigned to cluster c.
+std::vector<std::vector<std::size_t>> group_by_cluster(const KMeansResult& result);
+
+}  // namespace fedhisyn::cluster

@@ -1,0 +1,43 @@
+// Runtime-check macros (P.6/P.7 of the C++ Core Guidelines: catch run-time
+// errors early and make them checkable).  All preconditions in the library are
+// enforced with FEDHISYN_CHECK so misuse fails loudly instead of corrupting a
+// simulation run.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fedhisyn {
+
+/// Thrown on any violated precondition or invariant inside the library.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_fail(const char* expr, const char* file, int line,
+                                    const std::string& msg) {
+  std::ostringstream os;
+  os << "FEDHISYN_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace fedhisyn
+
+#define FEDHISYN_CHECK(expr)                                                  \
+  do {                                                                        \
+    if (!(expr)) ::fedhisyn::detail::check_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define FEDHISYN_CHECK_MSG(expr, msg)                                         \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      std::ostringstream os_;                                                 \
+      os_ << msg;                                                             \
+      ::fedhisyn::detail::check_fail(#expr, __FILE__, __LINE__, os_.str());   \
+    }                                                                         \
+  } while (false)

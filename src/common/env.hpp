@@ -1,0 +1,15 @@
+// Environment-variable helpers shared by the bench harnesses.
+#pragma once
+
+#include <string>
+
+namespace fedhisyn {
+
+/// True when FEDHISYN_FULL=1: benches run paper-scale round counts instead of
+/// the laptop-scale defaults.
+bool full_scale_enabled();
+
+/// Integer env var with default (returns `fallback` when unset/invalid).
+long env_long(const std::string& name, long fallback);
+
+}  // namespace fedhisyn

@@ -1,0 +1,66 @@
+#include "common/flags.hpp"
+
+#include <cstdlib>
+
+namespace fedhisyn {
+
+Flags Flags::parse(int argc, const char* const* argv) {
+  Flags flags;
+  for (int i = 0; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      flags.positional_.push_back(std::move(token));
+      continue;
+    }
+    token = token.substr(2);
+    const auto eq = token.find('=');
+    std::string key;
+    std::string value;
+    if (eq != std::string::npos) {
+      key = token.substr(0, eq);
+      value = token.substr(eq + 1);
+    } else {
+      key = token;
+      // --key value form: consume the next token unless it is a flag.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";  // boolean switch
+      }
+    }
+    flags.values_[key] = value;
+    flags.keys_.push_back(key);
+  }
+  return flags;
+}
+
+bool Flags::has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::string Flags::get(const std::string& key, const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+long Flags::get_long(const std::string& key, long fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(it->second.c_str(), &end, 10);
+  return end == it->second.c_str() ? fallback : parsed;
+}
+
+double Flags::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(it->second.c_str(), &end);
+  return end == it->second.c_str() ? fallback : parsed;
+}
+
+bool Flags::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace fedhisyn

@@ -1,0 +1,37 @@
+// Tiny command-line flag parser for the CLI tool and ad-hoc experiment
+// drivers.  Supports --key=value and --key value forms plus boolean
+// switches; unknown flags are collected so callers can reject them.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fedhisyn {
+
+class Flags {
+ public:
+  /// Parse argv (excluding argv[0]).  Tokens not starting with "--" are
+  /// positional arguments.
+  static Flags parse(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  /// String value; fallback when absent.
+  std::string get(const std::string& key, const std::string& fallback) const;
+  long get_long(const std::string& key, long fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  /// Boolean switch: present without value (or with "true"/"1") = true.
+  bool get_bool(const std::string& key, bool fallback = false) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  /// Keys seen on the command line, in order (for unknown-flag checks).
+  const std::vector<std::string>& keys() const { return keys_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> keys_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace fedhisyn

@@ -1,0 +1,97 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace fedhisyn {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  FEDHISYN_CHECK(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  FEDHISYN_CHECK_MSG(row.size() == header_.size(),
+                     "row has " << row.size() << " cells, header has " << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::to_ascii() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c] << std::string(widths[c] - row[c].size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  os << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void Table::print() const { std::fputs(to_ascii().c_str(), stdout); }
+
+std::string Table::fmt_pct(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+std::string Table::fmt_f(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string Table::fmt_i(long long value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", value);
+  return buf;
+}
+
+bool Table::maybe_write_csv(const std::string& name) const {
+  const char* dir = std::getenv("FEDHISYN_CSV_DIR");
+  if (dir == nullptr || dir[0] == '\0') return false;
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  std::ofstream out(path);
+  if (!out) {
+    FEDHISYN_LOG(kWarn) << "could not open " << path << " for CSV export";
+    return false;
+  }
+  out << to_csv();
+  return true;
+}
+
+}  // namespace fedhisyn

@@ -1,0 +1,41 @@
+// ASCII table / CSV emitter used by the benchmark harnesses to print the
+// rows and series the paper reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fedhisyn {
+
+/// Column-aligned ASCII table with an optional CSV dump.  Cells are strings;
+/// helpers format numbers consistently across benches.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Render with column alignment and a header rule.
+  std::string to_ascii() const;
+  /// Comma-separated dump (no escaping; cells must not contain commas).
+  std::string to_csv() const;
+  /// Print the ASCII rendering to stdout.
+  void print() const;
+
+  /// Fixed-precision float cell, e.g. fmt_f(0.81643, 2) -> "81.64%"
+  static std::string fmt_pct(double fraction, int decimals = 2);
+  static std::string fmt_f(double value, int decimals = 2);
+  static std::string fmt_i(long long value);
+
+  /// If FEDHISYN_CSV_DIR is set, write the CSV rendering to
+  /// $FEDHISYN_CSV_DIR/<name>.csv (benches call this after printing).
+  /// Returns true when a file was written.
+  bool maybe_write_csv(const std::string& name) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fedhisyn

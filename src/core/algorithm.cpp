@@ -1,0 +1,32 @@
+#include "core/algorithm.hpp"
+
+#include "common/check.hpp"
+#include "sim/participation.hpp"
+
+namespace fedhisyn::core {
+
+FlAlgorithm::FlAlgorithm(const FlContext& ctx) : ctx_(ctx), rng_(ctx.opts.seed) {
+  FEDHISYN_CHECK(ctx_.network != nullptr && ctx_.fed != nullptr && ctx_.fleet != nullptr);
+  FEDHISYN_CHECK(ctx_.fed->device_count() == ctx_.fleet->size());
+  FEDHISYN_CHECK(ctx_.network->finalized());
+  // All algorithms start from the same deterministic initialisation given the
+  // same seed, so method comparisons share a common origin.
+  Rng init_rng(ctx_.opts.seed ^ 0xA5A5A5A5ull);
+  global_ = ctx_.network->init_weights(init_rng);
+}
+
+float FlAlgorithm::evaluate_test_accuracy() {
+  const auto& test = ctx_.fed->test;
+  return ctx_.network->accuracy(global_, test.x,
+                                std::span<const std::int32_t>(test.y), eval_ws_);
+}
+
+double FlAlgorithm::round_duration() const {
+  return sim::slowest_job_time(*ctx_.fleet, ctx_.opts.local_epochs);
+}
+
+std::vector<std::size_t> FlAlgorithm::draw_participants() {
+  return sim::sample_participants(ctx_.device_count(), ctx_.opts.participation, rng_);
+}
+
+}  // namespace fedhisyn::core

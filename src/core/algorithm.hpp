@@ -1,0 +1,56 @@
+// Common interface of all FL algorithms.  One call to run_round() advances
+// one aggregation interval (the paper's "round": the wall-clock span R in
+// which the slowest device finishes one local-training job).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/options.hpp"
+#include "nn/network.hpp"
+#include "sim/comm.hpp"
+
+namespace fedhisyn::core {
+
+class FlAlgorithm {
+ public:
+  explicit FlAlgorithm(const FlContext& ctx);
+  virtual ~FlAlgorithm() = default;
+  FlAlgorithm(const FlAlgorithm&) = delete;
+  FlAlgorithm& operator=(const FlAlgorithm&) = delete;
+
+  virtual std::string name() const = 0;
+  /// Execute one aggregation interval (train + communicate + aggregate).
+  virtual void run_round() = 0;
+
+  /// The server's current global model.  Decentralised modes (no server)
+  /// return the mean of the device models.
+  virtual std::span<const float> global_weights() const { return global_; }
+
+  /// Test accuracy of the algorithm's output model.  Default: global model
+  /// accuracy on fed->test; decentralised modes override with the mean
+  /// per-device accuracy (what Figs. 2-4 plot).
+  virtual float evaluate_test_accuracy();
+
+  const sim::CommTracker& comm() const { return comm_; }
+  const FlContext& context() const { return ctx_; }
+  int rounds_completed() const { return rounds_completed_; }
+
+ protected:
+  /// Virtual duration of one round: the slowest fleet device's local-training
+  /// job (paper §6.1's definition of a round).
+  double round_duration() const;
+  /// Draw this round's participant set.
+  std::vector<std::size_t> draw_participants();
+
+  FlContext ctx_;
+  std::vector<float> global_;
+  sim::CommTracker comm_;
+  Rng rng_;
+  nn::Workspace eval_ws_;
+  int rounds_completed_ = 0;
+};
+
+}  // namespace fedhisyn::core

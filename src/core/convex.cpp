@@ -1,0 +1,129 @@
+#include "core/convex.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace fedhisyn::core {
+
+QuadraticFederation::QuadraticFederation(std::size_t devices, std::size_t dim,
+                                         double mu, double l_smooth,
+                                         double heterogeneity, Rng& rng)
+    : dim_(dim), mu_(mu), l_(l_smooth) {
+  FEDHISYN_CHECK(devices >= 1 && dim >= 1);
+  FEDHISYN_CHECK(mu > 0.0 && l_smooth >= mu);
+  FEDHISYN_CHECK(heterogeneity >= 0.0);
+  devices_.resize(devices);
+  for (auto& device : devices_) {
+    device.curvature.resize(dim);
+    device.minimizer.resize(dim);
+    for (std::size_t d = 0; d < dim; ++d) {
+      device.curvature[d] = rng.uniform(mu, l_smooth);
+      device.minimizer[d] = heterogeneity * rng.normal();
+    }
+  }
+  // w*[d] = sum_i a_i b_i / sum_i a_i  (diagonal normal equations).
+  optimum_.assign(dim, 0.0);
+  for (std::size_t d = 0; d < dim; ++d) {
+    double num = 0.0;
+    double den = 0.0;
+    for (const auto& device : devices_) {
+      num += device.curvature[d] * device.minimizer[d];
+      den += device.curvature[d];
+    }
+    optimum_[d] = num / den;
+  }
+  f_star_ = global_value(optimum_);
+}
+
+double QuadraticFederation::device_value(std::size_t device,
+                                         const std::vector<double>& w) const {
+  FEDHISYN_CHECK(device < devices_.size());
+  FEDHISYN_CHECK(w.size() == dim_);
+  const auto& q = devices_[device];
+  double value = 0.0;
+  for (std::size_t d = 0; d < dim_; ++d) {
+    const double diff = w[d] - q.minimizer[d];
+    value += 0.5 * q.curvature[d] * diff * diff;
+  }
+  return value;
+}
+
+double QuadraticFederation::global_value(const std::vector<double>& w) const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < devices_.size(); ++i) total += device_value(i, w);
+  return total / static_cast<double>(devices_.size());
+}
+
+void QuadraticFederation::sgd_step(std::size_t device, std::vector<double>& w,
+                                   double eta, double sigma, Rng& rng) const {
+  FEDHISYN_CHECK(device < devices_.size());
+  FEDHISYN_CHECK(w.size() == dim_);
+  const auto& q = devices_[device];
+  for (std::size_t d = 0; d < dim_; ++d) {
+    const double grad = q.curvature[d] * (w[d] - q.minimizer[d]) + sigma * rng.normal();
+    w[d] -= eta * grad;
+  }
+}
+
+double theorem_step_size(double mu, double l_smooth, int local_steps, std::int64_t t) {
+  const double gamma = std::max(8.0 * l_smooth / mu, static_cast<double>(local_steps));
+  return 2.0 / (mu * (gamma + static_cast<double>(t)));
+}
+
+namespace {
+std::vector<double> average_models(const std::vector<std::vector<double>>& models) {
+  std::vector<double> mean(models.front().size(), 0.0);
+  for (const auto& model : models) {
+    for (std::size_t d = 0; d < mean.size(); ++d) mean[d] += model[d];
+  }
+  for (auto& value : mean) value /= static_cast<double>(models.size());
+  return mean;
+}
+}  // namespace
+
+ConvexRunResult run_fedavg_convex(const QuadraticFederation& fed, int rounds,
+                                  int local_steps, double sigma, Rng& rng) {
+  return run_ring_convex(fed, rounds, local_steps, /*hops=*/1, sigma, rng);
+}
+
+ConvexRunResult run_ring_convex(const QuadraticFederation& fed, int rounds,
+                                int local_steps, int hops, double sigma, Rng& rng) {
+  FEDHISYN_CHECK(rounds >= 1 && local_steps >= 1 && hops >= 1);
+  const std::size_t n = fed.device_count();
+  std::vector<double> global(fed.dim(), 0.0);
+  ConvexRunResult result;
+  result.suboptimality.reserve(static_cast<std::size_t>(rounds));
+  std::int64_t t = 0;  // global step counter for the decaying step size
+
+  std::vector<std::size_t> ring(n);
+  for (std::size_t i = 0; i < n; ++i) ring[i] = i;
+
+  for (int round = 0; round < rounds; ++round) {
+    // Fresh ring order per round (the server re-shuffles as devices change).
+    rng.shuffle(ring);
+    std::vector<std::vector<double>> models(n, global);
+    std::int64_t t_round_end = t;
+    for (std::size_t start = 0; start < n; ++start) {
+      std::int64_t t_local = t;
+      for (int hop = 0; hop < hops; ++hop) {
+        // Model `start` visits ring positions start, start+1, ... — each
+        // stop runs `local_steps` SGD steps on that device's objective.
+        const std::size_t device = ring[(start + static_cast<std::size_t>(hop)) % n];
+        for (int step = 0; step < local_steps; ++step) {
+          const double eta =
+              theorem_step_size(fed.mu(), fed.l_smooth(), local_steps, t_local++);
+          fed.sgd_step(device, models[start], eta, sigma, rng);
+        }
+      }
+      t_round_end = std::max(t_round_end, t_local);
+    }
+    t = t_round_end;
+    global = average_models(models);
+    result.suboptimality.push_back(fed.global_value(global) - fed.f_star());
+  }
+  return result;
+}
+
+}  // namespace fedhisyn::core

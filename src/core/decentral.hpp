@@ -1,0 +1,76 @@
+// Server-less training modes behind the paper's motivation experiments.
+//
+// Fig. 2 (homogeneous fleet): five device-communication cases —
+//   none / random / random+averaging / ring / ring+averaging.
+// Fig. 3 (heterogeneous fleet): ring ordering random vs small-to-large vs
+//   large-to-small, run on the virtual-time ring engine.
+// Fig. 4: K clusters of rings, no server; the metric is the mean accuracy of
+//   the fastest cluster's devices.
+//
+// The reported metric for all of them is the MEAN per-device model accuracy
+// on the global test set — the paper's estimate of the divergence D (§3.2).
+#pragma once
+
+#include "core/algorithm.hpp"
+#include "core/ring_engine.hpp"
+#include "core/trainer.hpp"
+
+namespace fedhisyn::core {
+
+enum class DecentralMode {
+  kNoComm,      // each device trains alone
+  kRandom,      // receive a random device's model, train it directly
+  kRandomAvg,   // average the received model with the local one, then train
+  kRing,        // fixed ring, direct use
+  kRingAvg,     // fixed ring, average then train
+};
+
+const char* decentral_mode_name(DecentralMode mode);
+
+/// Round-synchronous decentralised training on a homogeneous fleet (Fig. 2).
+/// Every round each device trains one job, then models move per the mode.
+class DecentralHomogeneous final : public FlAlgorithm {
+ public:
+  DecentralHomogeneous(const FlContext& ctx, DecentralMode mode);
+
+  std::string name() const override;
+  void run_round() override;
+  /// Mean per-device accuracy (the Fig. 2 y-axis).
+  float evaluate_test_accuracy() override;
+  std::span<const float> global_weights() const override;
+
+ private:
+  DecentralMode mode_;
+  std::vector<std::vector<float>> device_models_;
+  sim::RingTopology ring_;  // fixed across rounds for the ring modes
+  mutable std::vector<float> mean_model_;
+};
+
+/// Virtual-time ring circulation with K clusters and no server (Figs. 3, 4).
+/// Device models persist across rounds; a "round" is just an evaluation
+/// checkpoint every interval R.
+class DecentralRing final : public FlAlgorithm {
+ public:
+  DecentralRing(const FlContext& ctx);
+
+  std::string name() const override { return "DecentralRing"; }
+  void run_round() override;
+  /// Mean per-device accuracy over ALL devices.
+  float evaluate_test_accuracy() override;
+  /// Mean accuracy of the devices in the fastest cluster (Fig. 4's metric).
+  float fastest_class_accuracy();
+  std::span<const float> global_weights() const override;
+
+ private:
+  void build_topology();
+
+  RingEngine engine_;
+  std::vector<std::vector<float>> device_models_;
+  std::vector<sim::RingTopology> rings_;
+  std::vector<std::size_t> fastest_class_;
+  std::vector<std::size_t> all_devices_;
+  bool topology_built_ = false;
+  mutable std::vector<float> mean_model_;
+};
+
+}  // namespace fedhisyn::core

@@ -1,0 +1,39 @@
+#include "core/factory.hpp"
+
+#include "common/check.hpp"
+#include "core/fedat.hpp"
+#include "core/fedasync.hpp"
+#include "core/fedavg_family.hpp"
+#include "core/fedhisyn_algo.hpp"
+#include "core/scaffold.hpp"
+#include "core/tafedavg.hpp"
+
+namespace fedhisyn::core {
+
+std::unique_ptr<FlAlgorithm> make_algorithm(const std::string& name,
+                                            const FlContext& ctx) {
+  if (name == "FedHiSyn") return std::make_unique<FedHiSynAlgo>(ctx);
+  if (name == "FedAvg") {
+    return std::make_unique<FedAvgFamily>(ctx, FedAvgVariant::kFedAvg);
+  }
+  if (name == "TFedAvg") {
+    return std::make_unique<FedAvgFamily>(ctx, FedAvgVariant::kTFedAvg);
+  }
+  if (name == "FedProx") {
+    return std::make_unique<FedAvgFamily>(ctx, FedAvgVariant::kFedProx);
+  }
+  if (name == "TAFedAvg") return std::make_unique<TAFedAvgAlgo>(ctx);
+  if (name == "FedAsync") return std::make_unique<FedAsyncAlgo>(ctx);
+  if (name == "FedAT") return std::make_unique<FedATAlgo>(ctx);
+  if (name == "SCAFFOLD") return std::make_unique<ScaffoldAlgo>(ctx);
+  FEDHISYN_CHECK_MSG(false, "unknown algorithm '" << name << "'");
+  return nullptr;
+}
+
+const std::vector<std::string>& table1_methods() {
+  static const std::vector<std::string> methods = {
+      "FedHiSyn", "FedAvg", "FedProx", "FedAT", "SCAFFOLD", "TAFedAvg", "TFedAvg"};
+  return methods;
+}
+
+}  // namespace fedhisyn::core

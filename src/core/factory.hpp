@@ -1,0 +1,19 @@
+// Name-based algorithm construction used by the Table 1 harness and examples.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/algorithm.hpp"
+
+namespace fedhisyn::core {
+
+/// Supported names: FedHiSyn, FedAvg, TFedAvg, TAFedAvg, FedProx, FedAT,
+/// SCAFFOLD (case-sensitive, matching the paper's Table 1 columns).
+std::unique_ptr<FlAlgorithm> make_algorithm(const std::string& name, const FlContext& ctx);
+
+/// The paper's Table 1 column order.
+const std::vector<std::string>& table1_methods();
+
+}  // namespace fedhisyn::core

@@ -1,0 +1,66 @@
+#include "core/fedasync.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace fedhisyn::core {
+
+FedAsyncAlgo::FedAsyncAlgo(const FlContext& ctx, float staleness_exponent)
+    : FlAlgorithm(ctx), staleness_exponent_(staleness_exponent) {
+  FEDHISYN_CHECK(staleness_exponent >= 0.0f);
+}
+
+void FedAsyncAlgo::run_round() {
+  const auto participants = draw_participants();
+  const double interval = round_duration();
+  const int epochs = ctx_.opts.local_epochs;
+  const float alpha = ctx_.opts.async_alpha;
+
+  sim::EventQueue queue;
+  queue.reset(0.0);
+  std::vector<std::vector<float>> working(ctx_.device_count());
+  std::vector<std::int64_t> start_version(ctx_.device_count(), 0);
+  for (const auto device : participants) {
+    working[device] = global_;
+    start_version[device] = version_;
+    comm_.record_server_download();
+    const double job = sim::local_training_time((*ctx_.fleet)[device], epochs);
+    if (job <= interval) queue.schedule(job, device);
+  }
+
+  while (!queue.empty()) {
+    const sim::Event event = queue.pop();
+    const std::size_t device = event.device;
+    Rng device_rng(ctx_.opts.seed ^ (0xA0761D65ull * (rounds_completed_ + 1)) ^
+                   (0xE7037ED1ull * (device + 1)) ^
+                   static_cast<std::uint64_t>(event.sequence));
+    UpdateExtras extras;
+    extras.momentum = ctx_.opts.momentum;
+    train_local(*ctx_.network, working[device], ctx_.fed->shards[device], epochs,
+                ctx_.opts.batch_size, ctx_.opts.lr, UpdateKind::kSgd, extras,
+                device_rng, scratch_);
+    comm_.record_server_upload();
+
+    // Staleness-damped server mix (FedAsync's polynomial schedule).
+    const auto staleness =
+        static_cast<float>(version_ - start_version[device]);
+    const float alpha_eff =
+        alpha * std::pow(1.0f + staleness, -staleness_exponent_);
+    for (std::size_t j = 0; j < global_.size(); ++j) {
+      global_[j] = (1.0f - alpha_eff) * global_[j] + alpha_eff * working[device][j];
+    }
+    ++version_;
+
+    const double job = sim::local_training_time((*ctx_.fleet)[device], epochs);
+    if (event.time + job <= interval) {
+      comm_.record_server_download();
+      working[device] = global_;
+      start_version[device] = version_;
+      queue.schedule(event.time + job, device);
+    }
+  }
+  ++rounds_completed_;
+}
+
+}  // namespace fedhisyn::core

@@ -1,0 +1,33 @@
+// FedAsync (Xie et al., 2019) — the staleness-aware fully asynchronous
+// baseline the paper discusses in related work (§2.2): like TAFedAvg, every
+// device uploads as soon as it finishes, but the server damps each arrival
+// by a polynomial staleness factor
+//     alpha_eff = alpha * (1 + staleness)^(-a),
+// where staleness = (global model version now) - (version the device
+// downloaded).  Fast devices mix at nearly full alpha; a straggler's stale
+// update is attenuated instead of poisoning the global model.
+#pragma once
+
+#include "core/algorithm.hpp"
+#include "core/trainer.hpp"
+#include "sim/events.hpp"
+
+namespace fedhisyn::core {
+
+class FedAsyncAlgo final : public FlAlgorithm {
+ public:
+  /// `staleness_exponent` is the `a` in (1+s)^(-a); 0 recovers TAFedAvg.
+  explicit FedAsyncAlgo(const FlContext& ctx, float staleness_exponent = 0.5f);
+
+  std::string name() const override { return "FedAsync"; }
+  void run_round() override;
+
+  std::int64_t global_version() const { return version_; }
+
+ private:
+  float staleness_exponent_;
+  std::int64_t version_ = 0;  // persists across rounds
+  TrainScratch scratch_;
+};
+
+}  // namespace fedhisyn::core

@@ -1,0 +1,37 @@
+// FedAT (Chai et al., SC'21) — the tiered semi-asynchronous baseline.
+//
+// Devices are k-means-clustered into tiers by speed (reusing the same
+// clustering substrate as FedHiSyn).  Each tier runs synchronous FedAvg at
+// its own cadence (tier round = slowest member's job); whenever a tier
+// finishes a tier-round it pushes its tier average to the server, which
+// recombines the per-tier snapshots into the global model with FedAT's
+// straggler-compensating weights: slower-updating tiers get LARGER weights,
+//     weight_k  ∝  total_updates - updates_k + 1.
+// Devices always pull the current global model at the start of a tier round.
+#pragma once
+
+#include "core/algorithm.hpp"
+#include "core/trainer.hpp"
+
+namespace fedhisyn::core {
+
+class FedATAlgo final : public FlAlgorithm {
+ public:
+  explicit FedATAlgo(const FlContext& ctx);
+
+  std::string name() const override { return "FedAT"; }
+  void run_round() override;
+
+ private:
+  // Persistent cross-round tier state.
+  std::vector<std::vector<float>> tier_models_;  // latest snapshot per tier
+  std::vector<std::int64_t> tier_updates_;       // update counts per tier
+  bool tiers_built_ = false;
+  std::vector<std::vector<std::size_t>> tier_members_;
+  std::vector<double> tier_round_time_;
+
+  void build_tiers();
+  void recombine_global();
+};
+
+}  // namespace fedhisyn::core

@@ -1,0 +1,34 @@
+// The synchronous server-aggregated baselines sharing one round structure:
+//
+//   FedAvg   — interval-collected (paper §6.1): each participant trains as
+//              many epochs as fit in the round (floor(R / epoch_time)), so
+//              powerful devices do up to 10x more local work.
+//   TFedAvg  — strictly synchronous: everyone trains exactly `local_epochs`
+//              epochs and then idles until the slowest finishes.
+//   FedProx  — FedAvg's schedule plus the proximal term mu/2 ||w - w_G||^2.
+//
+// All three aggregate with Eq. (3) sample weighting and cost 2|S| model-units
+// per round.
+#pragma once
+
+#include "core/algorithm.hpp"
+#include "core/trainer.hpp"
+
+namespace fedhisyn::core {
+
+enum class FedAvgVariant { kFedAvg, kTFedAvg, kFedProx };
+
+class FedAvgFamily final : public FlAlgorithm {
+ public:
+  FedAvgFamily(const FlContext& ctx, FedAvgVariant variant);
+
+  std::string name() const override;
+  void run_round() override;
+
+ private:
+  int epochs_for_device(std::size_t device, double interval) const;
+
+  FedAvgVariant variant_;
+};
+
+}  // namespace fedhisyn::core

@@ -1,0 +1,36 @@
+// FedHiSyn (Alg. 1): the paper's contribution.
+//
+// Per round: (1) draw participants; (2) k-means-cluster them into K classes
+// by local-training time; (3) build a small-to-large ring per class; (4) let
+// models circulate and train for one interval R (ring engine); (5) all
+// devices synchronously upload and the server aggregates with Eq. (9)
+// (uniform) or Eq. (10) (time-weighted).
+#pragma once
+
+#include "core/algorithm.hpp"
+#include "core/ring_engine.hpp"
+
+namespace fedhisyn::core {
+
+class FedHiSynAlgo final : public FlAlgorithm {
+ public:
+  explicit FedHiSynAlgo(const FlContext& ctx);
+
+  std::string name() const override { return "FedHiSyn"; }
+  void run_round() override;
+
+  /// Ring hops performed in the most recent round (device-to-device cost).
+  std::int64_t last_round_hops() const { return last_hops_; }
+  /// Jobs completed per device in the most recent round.
+  const std::vector<std::int64_t>& last_jobs_completed() const { return last_jobs_; }
+  /// Number of (non-empty) classes used in the most recent round.
+  std::size_t last_class_count() const { return last_classes_; }
+
+ private:
+  RingEngine engine_;
+  std::int64_t last_hops_ = 0;
+  std::vector<std::int64_t> last_jobs_;
+  std::size_t last_classes_ = 0;
+};
+
+}  // namespace fedhisyn::core

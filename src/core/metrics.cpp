@@ -1,0 +1,71 @@
+#include "core/metrics.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace fedhisyn::core {
+
+DispersionStats model_dispersion(std::span<const std::span<const float>> models) {
+  FEDHISYN_CHECK(!models.empty());
+  const std::size_t dim = models.front().size();
+  for (const auto& model : models) FEDHISYN_CHECK(model.size() == dim);
+
+  DispersionStats stats;
+  if (models.size() == 1) return stats;
+
+  std::vector<double> centroid(dim, 0.0);
+  for (const auto& model : models) {
+    for (std::size_t d = 0; d < dim; ++d) centroid[d] += model[d];
+  }
+  for (auto& value : centroid) value /= static_cast<double>(models.size());
+
+  double sum_to_centroid = 0.0;
+  for (const auto& model : models) {
+    double sq = 0.0;
+    for (std::size_t d = 0; d < dim; ++d) {
+      const double diff = model[d] - centroid[d];
+      sq += diff * diff;
+    }
+    const double dist = std::sqrt(sq);
+    sum_to_centroid += dist;
+    stats.max_distance_to_centroid = std::max(stats.max_distance_to_centroid, dist);
+  }
+  stats.mean_distance_to_centroid = sum_to_centroid / static_cast<double>(models.size());
+
+  double sum_pairwise = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    for (std::size_t j = i + 1; j < models.size(); ++j) {
+      double sq = 0.0;
+      for (std::size_t d = 0; d < dim; ++d) {
+        const double diff = static_cast<double>(models[i][d]) - models[j][d];
+        sq += diff * diff;
+      }
+      sum_pairwise += std::sqrt(sq);
+      ++pairs;
+    }
+  }
+  stats.mean_pairwise_distance = sum_pairwise / static_cast<double>(pairs);
+  return stats;
+}
+
+double update_cosine(std::span<const float> base, std::span<const float> w_a,
+                     std::span<const float> w_b) {
+  FEDHISYN_CHECK(base.size() == w_a.size());
+  FEDHISYN_CHECK(base.size() == w_b.size());
+  double dot = 0.0;
+  double norm_a = 0.0;
+  double norm_b = 0.0;
+  for (std::size_t d = 0; d < base.size(); ++d) {
+    const double ua = static_cast<double>(w_a[d]) - base[d];
+    const double ub = static_cast<double>(w_b[d]) - base[d];
+    dot += ua * ub;
+    norm_a += ua * ua;
+    norm_b += ub * ub;
+  }
+  if (norm_a <= 1e-24 || norm_b <= 1e-24) return 0.0;
+  return dot / (std::sqrt(norm_a) * std::sqrt(norm_b));
+}
+
+}  // namespace fedhisyn::core

@@ -1,0 +1,29 @@
+// Diagnostics over collections of model blobs: the empirical counterpart of
+// the paper's divergence argument (§3.2).  FedHiSyn's premise is that models
+// uploaded after ring circulation are *less dispersed* (each has seen many
+// devices' data) than FedAvg's locally-drifted models; these helpers let
+// experiments measure that directly.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace fedhisyn::core {
+
+struct DispersionStats {
+  double mean_distance_to_centroid = 0.0;
+  double max_distance_to_centroid = 0.0;
+  double mean_pairwise_distance = 0.0;  // exact, O(n^2 * dim)
+};
+
+/// L2 dispersion of a set of equally-sized model blobs.  Requires >= 1
+/// model; a single model has zero dispersion.
+DispersionStats model_dispersion(std::span<const std::span<const float>> models);
+
+/// Cosine similarity of two update vectors (w_a - base) vs (w_b - base):
+/// +1 = same direction, 0 = orthogonal drift.  Returns 0 when either update
+/// is (numerically) zero.
+double update_cosine(std::span<const float> base, std::span<const float> w_a,
+                     std::span<const float> w_b);
+
+}  // namespace fedhisyn::core

@@ -1,0 +1,65 @@
+// Experiment presets: build the full context (synthetic data, partition,
+// model, fleet) for one of the paper's four dataset suites, at laptop scale
+// by default and paper scale with FEDHISYN_FULL=1.
+//
+// Target accuracies are rescaled analogues of the paper's 96/86/75/33
+// targets, calibrated on the synthetic suites (see EXPERIMENTS.md).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/options.hpp"
+#include "data/partition.hpp"
+#include "data/synthetic.hpp"
+#include "sim/device.hpp"
+
+namespace fedhisyn::core {
+
+/// Scale knobs for one experiment.
+struct ExperimentScale {
+  std::size_t devices = 100;
+  std::int64_t train_samples_per_device = 100;
+  std::int64_t test_samples = 2000;
+  int rounds = 100;
+};
+
+/// Laptop-scale defaults (fast CI runs) or paper-scale when full=true.
+ExperimentScale default_scale(const std::string& dataset, bool full);
+
+/// Per-suite target accuracy for the rounds-to-target metric (the synthetic
+/// analogue of the paper's 96%/86%/75%/33%).
+float target_accuracy(const std::string& dataset);
+
+/// Owns everything an FlContext points to.
+struct BuiltExperiment {
+  data::SyntheticSpec spec;
+  data::FederatedData fed;
+  std::unique_ptr<nn::Network> network;
+  sim::Fleet fleet;
+
+  /// Non-owning view for the algorithms.
+  FlContext context(const FlOptions& opts) const;
+};
+
+enum class FleetKind { kUniformEpochs, kHomogeneous, kRatio };
+
+struct BuildConfig {
+  std::string dataset = "mnist";  // mnist|emnist|cifar10|cifar100
+  ExperimentScale scale;
+  data::PartitionConfig partition;  // iid or Dirichlet(beta)
+  FleetKind fleet_kind = FleetKind::kUniformEpochs;
+  double fleet_ratio_h = 10.0;  // only for kRatio
+  /// Use the paper's CNN for the cifar suites (slower; default MLP).
+  bool use_cnn = false;
+  /// Hidden sizes of the MLP.  Empty = auto: the paper's {200, 100} when
+  /// FEDHISYN_FULL=1, otherwise a small {32, 16} that keeps the two-core
+  /// bench sweeps tractable without changing the method ranking (see
+  /// EXPERIMENTS.md).
+  std::vector<std::int64_t> mlp_hidden;
+  std::uint64_t seed = 1;
+};
+
+BuiltExperiment build_experiment(const BuildConfig& config);
+
+}  // namespace fedhisyn::core

@@ -1,0 +1,128 @@
+#include "core/ring_engine.hpp"
+
+#include <deque>
+
+#include "common/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace fedhisyn::core {
+
+RingEngine::RingEngine(const FlContext& ctx) : ctx_(ctx) {}
+
+RingEngineResult RingEngine::run_interval(const std::vector<sim::RingTopology>& rings,
+                                          const std::vector<std::size_t>& participants,
+                                          std::vector<std::vector<float>> initial_models,
+                                          double interval, Rng& rng) {
+  FEDHISYN_CHECK(interval > 0.0);
+  const std::size_t n = ctx_.device_count();
+  FEDHISYN_CHECK(initial_models.size() == n);
+
+  // Map each participant to its ring (devices appear in exactly one ring).
+  std::vector<const sim::RingTopology*> ring_of(n, nullptr);
+  for (const auto& ring : rings) {
+    for (const auto member : ring.ordered_members()) {
+      FEDHISYN_CHECK(member < n);
+      FEDHISYN_CHECK_MSG(ring_of[member] == nullptr,
+                         "device " << member << " appears in two rings");
+      ring_of[member] = &ring;
+    }
+  }
+  for (const auto p : participants) {
+    FEDHISYN_CHECK_MSG(ring_of[p] != nullptr, "participant " << p << " has no ring");
+  }
+
+  RingEngineResult result;
+  result.device_models = std::move(initial_models);
+  result.jobs_completed.assign(n, 0);
+
+  // Per-device state: the model currently being trained, and the most
+  // recently received model waiting its turn (Alg. 1's buffer back).
+  std::vector<std::vector<float>> training(n);
+  std::vector<std::optional<std::vector<float>>> pending(n);
+  // Models in flight on links with non-zero delay.  Every device has exactly
+  // one ring predecessor, so per-receiver FIFO order is preserved.
+  std::vector<std::deque<std::vector<float>>> in_flight(n);
+
+  // Event encoding: id < n -> training completion on device id;
+  //                 id >= n -> delivery of the next in-flight model to id-n.
+  sim::EventQueue queue;
+  queue.reset(0.0);
+  const int epochs = ctx_.opts.local_epochs;
+  for (const auto device : participants) {
+    const double job = sim::local_training_time((*ctx_.fleet)[device], epochs);
+    training[device] = result.device_models[device];
+    if (job <= interval) queue.schedule(job, device);
+  }
+
+  auto take_pending = [&](std::size_t device) {
+    if (!pending[device].has_value()) return;
+    if (ctx_.opts.direct_use) {
+      training[device] = std::move(*pending[device]);
+    } else {
+      // Ablation: average the received model with the local one.
+      auto& mine = training[device];
+      const auto& theirs = *pending[device];
+      for (std::size_t i = 0; i < mine.size(); ++i) {
+        mine[i] = 0.5f * (mine[i] + theirs[i]);
+      }
+    }
+    pending[device].reset();
+  };
+
+  while (!queue.empty()) {
+    const sim::Event event = queue.pop();
+    const double now = event.time;
+
+    if (event.device >= n) {
+      // Delivery: the oldest in-flight model reaches its receiver and
+      // becomes the buffer back (overwriting an unconsumed older arrival —
+      // Alg. 1 always trains the most recent).
+      const std::size_t device = event.device - n;
+      FEDHISYN_CHECK(!in_flight[device].empty());
+      pending[device] = std::move(in_flight[device].front());
+      in_flight[device].pop_front();
+      continue;
+    }
+
+    const std::size_t device = event.device;
+    // The job scheduled for `device` just finished: train the model it was
+    // working on.  (Training is performed lazily at completion time; the
+    // result is identical because jobs never observe mid-flight state.)
+    UpdateExtras extras;
+    extras.momentum = ctx_.opts.momentum;
+    train_local(*ctx_.network, std::span<float>(training[device]),
+                ctx_.fed->shards[device], epochs, ctx_.opts.batch_size, ctx_.opts.lr,
+                UpdateKind::kSgd, extras, rng, scratch_);
+    result.device_models[device] = training[device];
+    ++result.jobs_completed[device];
+
+    // Forward to the ring successor (skip self-loops in 1-device rings).
+    // Zero-delay links hand over immediately (the paper's simplified
+    // setting); positive delays travel via a delivery event (Eq. (5)'s
+    // general form).  Models still in flight when the interval ends are
+    // dropped — the round is over.
+    const std::size_t next = ring_of[device]->successor(device);
+    if (next != device) {
+      const double delay = (*ctx_.fleet)[device].link_delay;
+      if (delay <= 0.0) {
+        pending[next] = training[device];
+        ++result.hops;
+      } else if (now + delay <= interval) {
+        in_flight[next].push_back(training[device]);
+        queue.schedule(now + delay, n + next);
+        ++result.hops;
+      }
+    }
+
+    // Pick the next model to train: most recently received, else continue
+    // refining the current one (Eq. (7)).
+    take_pending(device);
+
+    const double job = sim::local_training_time((*ctx_.fleet)[device], epochs);
+    if (now + job <= interval) queue.schedule(now + job, device);
+  }
+
+  return result;
+}
+
+}  // namespace fedhisyn::core

@@ -1,0 +1,70 @@
+#include "core/runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace fedhisyn::core {
+
+std::string ExperimentResult::table_cell() const {
+  char buf[64];
+  if (comm_to_target.has_value()) {
+    std::snprintf(buf, sizeof(buf), "%.0f(%.2f%%)", std::ceil(*comm_to_target),
+                  final_accuracy * 100.0f);
+  } else {
+    std::snprintf(buf, sizeof(buf), "X(%.2f%%)", final_accuracy * 100.0f);
+  }
+  return buf;
+}
+
+ExperimentRunner::ExperimentRunner(int rounds, float target_accuracy)
+    : rounds_(rounds), target_(target_accuracy) {
+  FEDHISYN_CHECK(rounds >= 1);
+  FEDHISYN_CHECK(target_accuracy > 0.0f && target_accuracy < 1.0f);
+}
+
+ExperimentRunner& ExperimentRunner::set_eval_every(int eval_every) {
+  FEDHISYN_CHECK(eval_every >= 1);
+  eval_every_ = eval_every;
+  return *this;
+}
+
+ExperimentRunner& ExperimentRunner::set_on_round(
+    std::function<void(const RoundRecord&)> cb) {
+  on_round_ = std::move(cb);
+  return *this;
+}
+
+ExperimentResult ExperimentRunner::run(FlAlgorithm& algorithm) const {
+  ExperimentResult result;
+  result.algorithm = algorithm.name();
+  const auto& ctx = algorithm.context();
+  const double expected_participants = std::max(
+      1.0, static_cast<double>(ctx.device_count()) * ctx.opts.participation);
+
+  for (int round = 1; round <= rounds_; ++round) {
+    algorithm.run_round();
+    if (round % eval_every_ != 0 && round != rounds_) continue;
+
+    RoundRecord record;
+    record.round = round;
+    record.accuracy = algorithm.evaluate_test_accuracy();
+    record.comm_rounds = algorithm.comm().server_model_units() /
+                         (2.0 * expected_participants);
+    record.d2d_transfers = algorithm.comm().device_to_device_units();
+    result.history.push_back(record);
+    result.final_accuracy = record.accuracy;
+    result.best_accuracy = std::max(result.best_accuracy, record.accuracy);
+    if (!result.comm_to_target.has_value() && record.accuracy >= target_) {
+      result.comm_to_target = record.comm_rounds;
+      result.rounds_to_target = round;
+    }
+    if (on_round_) on_round_(record);
+  }
+  return result;
+}
+
+}  // namespace fedhisyn::core

@@ -1,0 +1,58 @@
+// ExperimentRunner: drives an FlAlgorithm for a number of rounds, recording
+// the accuracy trajectory and the paper's headline metric — communication
+// cost (normalised FedAvg-round units) to reach a target accuracy.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/algorithm.hpp"
+
+namespace fedhisyn::core {
+
+struct RoundRecord {
+  int round = 0;
+  float accuracy = 0.0f;
+  /// Cumulative server traffic in normalised FedAvg-round units.
+  double comm_rounds = 0.0;
+  /// Cumulative device-to-device transfers (FedHiSyn / decentralised only).
+  double d2d_transfers = 0.0;
+};
+
+struct ExperimentResult {
+  std::string algorithm;
+  std::vector<RoundRecord> history;
+  float final_accuracy = 0.0f;
+  float best_accuracy = 0.0f;
+  /// Normalised comm units when the target was first reached (the Table 1
+  /// cell); unset if the target was never reached (the paper's "X" marker).
+  std::optional<double> comm_to_target;
+  std::optional<int> rounds_to_target;
+
+  /// Table 1 cell rendering: "24(81.64%)" or "X(74.93%)".
+  std::string table_cell() const;
+};
+
+class ExperimentRunner {
+ public:
+  /// `participants_per_round` is the nominal |S| used to normalise comm
+  /// (expected participants: device_count * participation).
+  ExperimentRunner(int rounds, float target_accuracy);
+
+  /// Evaluate every `eval_every` rounds (1 = every round).
+  ExperimentRunner& set_eval_every(int eval_every);
+  /// Optional per-round callback (round record just appended).
+  ExperimentRunner& set_on_round(std::function<void(const RoundRecord&)> cb);
+
+  ExperimentResult run(FlAlgorithm& algorithm) const;
+
+ private:
+  int rounds_;
+  float target_;
+  int eval_every_ = 1;
+  std::function<void(const RoundRecord&)> on_round_;
+};
+
+}  // namespace fedhisyn::core

@@ -1,0 +1,29 @@
+// SCAFFOLD (Karimireddy et al., 2020), option-II control variates.
+//
+// Each device keeps a control variate c_i (persistent across rounds) and the
+// server keeps c.  Local steps follow w -= lr (g - c_i + c); after K steps
+// the device refreshes c_i via option II:
+//     c_i^+ = c_i - c + (w_G - w_local) / (K * lr)
+// The server averages model deltas and variate deltas.  Every exchange moves
+// a model AND a variate, so each direction costs 2 model-units (the paper's
+// "SCAFFOLD costs twice" accounting).
+#pragma once
+
+#include "core/algorithm.hpp"
+#include "core/trainer.hpp"
+
+namespace fedhisyn::core {
+
+class ScaffoldAlgo final : public FlAlgorithm {
+ public:
+  explicit ScaffoldAlgo(const FlContext& ctx);
+
+  std::string name() const override { return "SCAFFOLD"; }
+  void run_round() override;
+
+ private:
+  std::vector<std::vector<float>> c_local_;  // per device, zero-init
+  std::vector<float> c_global_;
+};
+
+}  // namespace fedhisyn::core

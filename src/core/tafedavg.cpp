@@ -1,0 +1,56 @@
+#include "core/tafedavg.hpp"
+
+#include "common/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace fedhisyn::core {
+
+TAFedAvgAlgo::TAFedAvgAlgo(const FlContext& ctx) : FlAlgorithm(ctx) {}
+
+void TAFedAvgAlgo::run_round() {
+  const auto participants = draw_participants();
+  const double interval = round_duration();
+  const int epochs = ctx_.opts.local_epochs;
+  const float alpha = ctx_.opts.async_alpha;
+
+  // Event-driven: device completion order defines the server update order,
+  // which matters because every upload changes the model the next download
+  // sees.  Training runs serially in event order for determinism.
+  sim::EventQueue queue;
+  queue.reset(0.0);
+  std::vector<std::vector<float>> working(ctx_.device_count());
+  for (const auto device : participants) {
+    working[device] = global_;
+    comm_.record_server_download();
+    const double job = sim::local_training_time((*ctx_.fleet)[device], epochs);
+    if (job <= interval) queue.schedule(job, device);
+  }
+
+  while (!queue.empty()) {
+    const sim::Event event = queue.pop();
+    const std::size_t device = event.device;
+    Rng device_rng(ctx_.opts.seed ^ (0xC2B2AE35ull * (rounds_completed_ + 1)) ^
+                   (0x27D4EB2Full * (device + 1)) ^
+                   static_cast<std::uint64_t>(event.sequence));
+    UpdateExtras extras;
+    extras.momentum = ctx_.opts.momentum;
+    train_local(*ctx_.network, working[device], ctx_.fed->shards[device], epochs,
+                ctx_.opts.batch_size, ctx_.opts.lr, UpdateKind::kSgd, extras,
+                device_rng, scratch_);
+    // Upload and asynchronous server mix.
+    comm_.record_server_upload();
+    for (std::size_t j = 0; j < global_.size(); ++j) {
+      global_[j] = (1.0f - alpha) * global_[j] + alpha * working[device][j];
+    }
+    // Download the fresh global model and go again if another job fits.
+    const double job = sim::local_training_time((*ctx_.fleet)[device], epochs);
+    if (event.time + job <= interval) {
+      comm_.record_server_download();
+      working[device] = global_;
+      queue.schedule(event.time + job, device);
+    }
+  }
+  ++rounds_completed_;
+}
+
+}  // namespace fedhisyn::core

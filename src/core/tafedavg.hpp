@@ -1,0 +1,29 @@
+// TAFedAvg — the fully asynchronous baseline.
+//
+// Every device loops independently: download the current global model, train
+// `local_epochs` epochs, upload; the server immediately mixes each arrival
+// into the global model, w_G <- (1 - a) w_G + a w_i.  An interval of duration
+// R (the common round clock) is simulated event-by-event so fast devices
+// complete up to H times more upload cycles per round than slow ones —
+// exactly the paper's "a powerful device communicates with the server 10
+// times while a weak one communicates once".
+#pragma once
+
+#include "core/algorithm.hpp"
+#include "core/trainer.hpp"
+#include "sim/events.hpp"
+
+namespace fedhisyn::core {
+
+class TAFedAvgAlgo final : public FlAlgorithm {
+ public:
+  explicit TAFedAvgAlgo(const FlContext& ctx);
+
+  std::string name() const override { return "TAFedAvg"; }
+  void run_round() override;
+
+ private:
+  TrainScratch scratch_;
+};
+
+}  // namespace fedhisyn::core

@@ -1,0 +1,63 @@
+// Dataset container and per-device shard views.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace fedhisyn::data {
+
+/// Labelled classification dataset: X is [N, ...sample dims], y in [0, classes).
+struct Dataset {
+  Tensor x;
+  std::vector<std::int32_t> y;
+  std::int64_t n_classes = 0;
+
+  std::int64_t size() const { return x.rank() == 0 || x.numel() == 0 ? 0 : x.dim(0); }
+  std::int64_t sample_dim() const { return size() == 0 ? 0 : x.numel() / size(); }
+
+  /// Per-class counts (length n_classes).
+  std::vector<std::int64_t> label_histogram() const;
+};
+
+/// A device's shard: indices into a shared Dataset.  Devices never copy the
+/// underlying samples; minibatches are gathered on demand.
+class Shard {
+ public:
+  Shard() = default;
+  Shard(const Dataset* dataset, std::vector<std::int64_t> indices);
+
+  std::int64_t size() const { return static_cast<std::int64_t>(indices_.size()); }
+  const std::vector<std::int64_t>& indices() const { return indices_; }
+  const Dataset& dataset() const;
+
+  /// Gather rows [start, start+count) of the (shuffled) index order into a
+  /// batch tensor + label vector.  `order` must be a permutation of
+  /// [0, size()); pass indices() order via make_order().
+  void gather(std::span<const std::int64_t> order, std::int64_t start, std::int64_t count,
+              Tensor& batch_x, std::vector<std::int32_t>& batch_y) const;
+
+  /// Identity order 0..size()-1, to be shuffled by the caller's Rng.
+  std::vector<std::int64_t> make_order() const;
+
+  /// Per-class counts within this shard.
+  std::vector<std::int64_t> label_histogram() const;
+
+ private:
+  const Dataset* dataset_ = nullptr;
+  std::vector<std::int64_t> indices_;
+};
+
+/// Split: shards[i] holds device i's training indices.
+struct FederatedData {
+  Dataset train;
+  Dataset test;
+  std::vector<Shard> shards;
+
+  std::size_t device_count() const { return shards.size(); }
+};
+
+}  // namespace fedhisyn::data

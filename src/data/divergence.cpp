@@ -1,0 +1,49 @@
+#include "data/divergence.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace fedhisyn::data {
+
+namespace {
+std::vector<double> normalized_histogram(const std::vector<std::int64_t>& hist) {
+  std::int64_t total = 0;
+  for (const auto count : hist) total += count;
+  std::vector<double> p(hist.size(), 0.0);
+  if (total == 0) return p;
+  for (std::size_t j = 0; j < hist.size(); ++j) {
+    p[j] = static_cast<double>(hist[j]) / static_cast<double>(total);
+  }
+  return p;
+}
+}  // namespace
+
+std::vector<double> per_device_divergence(const Dataset& train,
+                                          const std::vector<Shard>& shards) {
+  const auto global = normalized_histogram(train.label_histogram());
+  std::vector<double> out;
+  out.reserve(shards.size());
+  for (const auto& shard : shards) {
+    const auto local = normalized_histogram(shard.label_histogram());
+    FEDHISYN_CHECK(local.size() == global.size());
+    double l1 = 0.0;
+    for (std::size_t j = 0; j < global.size(); ++j) l1 += std::abs(local[j] - global[j]);
+    out.push_back(0.5 * l1);
+  }
+  return out;
+}
+
+double label_divergence(const Dataset& train, const std::vector<Shard>& shards) {
+  const auto global = normalized_histogram(train.label_histogram());
+  double total = 0.0;
+  for (const auto& shard : shards) {
+    const auto local = normalized_histogram(shard.label_histogram());
+    for (std::size_t j = 0; j < global.size(); ++j) {
+      total += std::abs(local[j] - global[j]);
+    }
+  }
+  return total;
+}
+
+}  // namespace fedhisyn::data

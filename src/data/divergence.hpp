@@ -1,0 +1,21 @@
+// The paper's Eq. (4) label-distribution divergence: sum over devices and
+// classes of |p_i(y=j) - p(y=j)|, the quantity D the framework is designed
+// to shrink.  Used by tests and the Fig. 2 harness to order IID vs Non-IID
+// partitions quantitatively.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace fedhisyn::data {
+
+/// D = sum_i sum_j | p_i(y=j) - p(y=j) |  (Eq. 4 of the paper).
+double label_divergence(const Dataset& train, const std::vector<Shard>& shards);
+
+/// Per-device total-variation distance to the global label distribution
+/// (0.5 * L1), length = shards.size().
+std::vector<double> per_device_divergence(const Dataset& train,
+                                          const std::vector<Shard>& shards);
+
+}  // namespace fedhisyn::data

@@ -1,0 +1,105 @@
+#include "data/partition.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace fedhisyn::data {
+
+std::vector<Shard> partition_iid(const Dataset& train, std::size_t devices, Rng& rng) {
+  FEDHISYN_CHECK(devices >= 1);
+  const std::int64_t n = train.size();
+  FEDHISYN_CHECK(n >= static_cast<std::int64_t>(devices));
+  std::vector<std::int64_t> order(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+  rng.shuffle(order);
+
+  std::vector<Shard> shards;
+  shards.reserve(devices);
+  const std::int64_t base = n / static_cast<std::int64_t>(devices);
+  const std::int64_t extra = n % static_cast<std::int64_t>(devices);
+  std::int64_t cursor = 0;
+  for (std::size_t d = 0; d < devices; ++d) {
+    const std::int64_t count = base + (static_cast<std::int64_t>(d) < extra ? 1 : 0);
+    std::vector<std::int64_t> indices(order.begin() + cursor, order.begin() + cursor + count);
+    cursor += count;
+    shards.emplace_back(&train, std::move(indices));
+  }
+  return shards;
+}
+
+std::vector<Shard> partition_dirichlet(const Dataset& train, std::size_t devices,
+                                       double beta, Rng& rng, std::int64_t min_samples) {
+  FEDHISYN_CHECK(devices >= 1);
+  FEDHISYN_CHECK(beta > 0.0);
+  const std::int64_t n = train.size();
+  FEDHISYN_CHECK(n >= static_cast<std::int64_t>(devices) * min_samples);
+
+  // Bucket sample indices by class.
+  std::vector<std::vector<std::int64_t>> by_class(
+      static_cast<std::size_t>(train.n_classes));
+  for (std::int64_t i = 0; i < n; ++i) {
+    by_class[static_cast<std::size_t>(train.y[static_cast<std::size_t>(i)])].push_back(i);
+  }
+
+  // Up to a few re-draws for a naturally feasible split; afterwards repair
+  // by topping up undersized shards from the largest ones.  With very skewed
+  // beta and many devices a pure re-draw loop may never terminate, but the
+  // repair preserves the heavy Dirichlet skew while guaranteeing feasibility
+  // (checked above: n >= devices * min_samples).
+  constexpr int kMaxAttempts = 10;
+  std::vector<std::vector<std::int64_t>> assignment;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    assignment.assign(devices, {});
+    for (auto& bucket : by_class) {
+      rng.shuffle(bucket);
+      const auto proportions = rng.dirichlet(beta, devices);
+      // Convert proportions to contiguous cut points over the bucket.
+      std::size_t start = 0;
+      double cumulative = 0.0;
+      for (std::size_t d = 0; d < devices; ++d) {
+        cumulative += proportions[d];
+        const auto end = d + 1 == devices
+                             ? bucket.size()
+                             : std::min(bucket.size(),
+                                        static_cast<std::size_t>(cumulative *
+                                                                 static_cast<double>(bucket.size())));
+        for (std::size_t i = start; i < end; ++i) assignment[d].push_back(bucket[i]);
+        start = std::max(start, end);
+      }
+    }
+    const bool ok = std::all_of(assignment.begin(), assignment.end(), [&](const auto& a) {
+      return static_cast<std::int64_t>(a.size()) >= min_samples;
+    });
+    if (ok) break;
+  }
+
+  // Repair pass: move samples from the currently largest shard to any shard
+  // below the minimum.  Deterministic and guaranteed to terminate because
+  // the total sample count is >= devices * min_samples.
+  for (std::size_t d = 0; d < devices; ++d) {
+    while (static_cast<std::int64_t>(assignment[d].size()) < min_samples) {
+      const auto donor = static_cast<std::size_t>(std::distance(
+          assignment.begin(),
+          std::max_element(assignment.begin(), assignment.end(),
+                           [](const auto& a, const auto& b) { return a.size() < b.size(); })));
+      FEDHISYN_CHECK(donor != d && assignment[donor].size() > 1);
+      assignment[d].push_back(assignment[donor].back());
+      assignment[donor].pop_back();
+    }
+  }
+
+  std::vector<Shard> shards;
+  shards.reserve(devices);
+  for (auto& indices : assignment) shards.emplace_back(&train, std::move(indices));
+  return shards;
+}
+
+std::vector<Shard> make_partition(const Dataset& train, std::size_t devices,
+                                  const PartitionConfig& config, Rng& rng) {
+  if (config.iid) return partition_iid(train, devices, rng);
+  return partition_dirichlet(train, devices, config.beta, rng);
+}
+
+}  // namespace fedhisyn::data

@@ -1,0 +1,34 @@
+// Partitioners distributing a training set across simulated devices.
+//
+// IID: a uniform shuffle split.  Non-IID: Dirichlet(beta) label skew — for
+// each class, the class's samples are split across devices with proportions
+// drawn from Dirichlet(beta), the standard protocol of Li et al. (2021)
+// ("Federated Learning on Non-IID Data Silos") that the paper follows.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+
+namespace fedhisyn::data {
+
+/// Uniform shuffle split into `devices` near-equal shards.
+std::vector<Shard> partition_iid(const Dataset& train, std::size_t devices, Rng& rng);
+
+/// Dirichlet(beta) label-skew split.  Every device is guaranteed at least
+/// `min_samples` samples (re-drawn otherwise, matching common practice).
+std::vector<Shard> partition_dirichlet(const Dataset& train, std::size_t devices,
+                                       double beta, Rng& rng,
+                                       std::int64_t min_samples = 2);
+
+/// Convenience: "iid" uses partition_iid; beta>0 uses partition_dirichlet.
+struct PartitionConfig {
+  bool iid = true;
+  double beta = 0.3;
+};
+std::vector<Shard> make_partition(const Dataset& train, std::size_t devices,
+                                  const PartitionConfig& config, Rng& rng);
+
+}  // namespace fedhisyn::data

@@ -1,0 +1,55 @@
+// Synthetic classification suites standing in for MNIST / EMNIST / CIFAR10 /
+// CIFAR100 (the real datasets are not available offline; see DESIGN.md §1).
+//
+// Generator model: each class j gets a prototype mu_j drawn on a sphere of
+// radius `separation`; a sample is mu_j + N(0, noise^2 I), passed through a
+// fixed random rotation, plus a shared nuisance subspace that carries no
+// label information (mimicking backgrounds/illumination in natural images).
+// A fraction `label_noise` of labels is resampled uniformly.  Difficulty is
+// ordered MNIST-like (easy) -> CIFAR100-like (hard) by shrinking separation
+// and growing noise, mirroring the paper's easy->hard dataset ordering.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+
+namespace fedhisyn::data {
+
+/// Parameters of one synthetic suite.
+struct SyntheticSpec {
+  std::string name;
+  std::int64_t n_classes = 10;
+  // Sample layout; MLP suites use {dim,1,1}, image suites {c,h,w}.
+  std::int64_t channels = 1;
+  std::int64_t height = 1;
+  std::int64_t width = 64;
+  double separation = 3.0;   // prototype sphere radius
+  double noise = 1.0;        // within-class stddev
+  double nuisance = 0.5;     // stddev of the label-free shared subspace
+  double label_noise = 0.0;  // fraction of labels resampled uniformly
+
+  std::int64_t sample_dim() const { return channels * height * width; }
+};
+
+/// Paper-dataset stand-ins (names keep the paper's order of difficulty).
+SyntheticSpec mnist_like();
+SyntheticSpec emnist_like();
+SyntheticSpec cifar10_like();
+SyntheticSpec cifar100_like();
+/// Lookup by paper dataset name ("mnist", "emnist", "cifar10", "cifar100").
+SyntheticSpec spec_by_name(const std::string& name);
+
+/// Generate train+test sets from one spec.  The same class prototypes and
+/// rotation are used for both splits, so train/test are identically
+/// distributed (the paper's assumption in §3.2).
+struct SyntheticSplit {
+  Dataset train;
+  Dataset test;
+};
+SyntheticSplit generate(const SyntheticSpec& spec, std::int64_t train_samples,
+                        std::int64_t test_samples, Rng& rng);
+
+}  // namespace fedhisyn::data

@@ -1,0 +1,127 @@
+#include "nn/conv2d.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+
+namespace fedhisyn::nn {
+
+Conv2d::Conv2d(std::int64_t out_channels, std::int64_t kernel, std::int64_t stride,
+               std::int64_t padding)
+    : out_channels_(out_channels), kernel_(kernel), stride_(stride), padding_(padding) {
+  FEDHISYN_CHECK(out_channels > 0 && kernel > 0 && stride > 0 && padding >= 0);
+}
+
+ConvGeometry Conv2d::geometry(const Shape3& in) const {
+  ConvGeometry g;
+  g.channels = in.c;
+  g.height = in.h;
+  g.width = in.w;
+  g.kernel = kernel_;
+  g.stride = stride_;
+  g.padding = padding_;
+  FEDHISYN_CHECK_MSG(g.out_height() > 0 && g.out_width() > 0,
+                     "conv output collapsed for input " << in.c << "x" << in.h << "x" << in.w);
+  return g;
+}
+
+Shape3 Conv2d::output_shape(const Shape3& in) const {
+  const ConvGeometry g = geometry(in);
+  return {out_channels_, g.out_height(), g.out_width()};
+}
+
+std::int64_t Conv2d::param_count(const Shape3& in) const {
+  return out_channels_ * in.c * kernel_ * kernel_ + out_channels_;
+}
+
+void Conv2d::init_params(const Shape3& in, std::span<float> params, Rng& rng) const {
+  FEDHISYN_CHECK(static_cast<std::int64_t>(params.size()) == param_count(in));
+  const std::int64_t fan_in = in.c * kernel_ * kernel_;
+  const std::int64_t fan_out = out_channels_ * kernel_ * kernel_;
+  const double limit = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  const std::int64_t n_weights = out_channels_ * fan_in;
+  for (std::int64_t i = 0; i < n_weights; ++i) {
+    params[static_cast<std::size_t>(i)] = static_cast<float>(rng.uniform(-limit, limit));
+  }
+  for (std::int64_t i = 0; i < out_channels_; ++i) {
+    params[static_cast<std::size_t>(n_weights + i)] = 0.0f;
+  }
+}
+
+void Conv2d::forward(const Shape3& in, std::span<const float> params, const Tensor& x,
+                     Tensor& y) const {
+  const ConvGeometry g = geometry(in);
+  const std::int64_t batch = x.dim(0);
+  FEDHISYN_CHECK(x.numel() == batch * in.numel());
+  const std::int64_t col_rows = g.col_rows();
+  const std::int64_t col_cols = g.col_cols();
+  y.resize({batch, out_channels_, g.out_height(), g.out_width()});
+
+  const auto filters = params.subspan(0, static_cast<std::size_t>(out_channels_ * col_rows));
+  const auto bias = params.subspan(static_cast<std::size_t>(out_channels_ * col_rows),
+                                   static_cast<std::size_t>(out_channels_));
+
+#pragma omp parallel
+  {
+    std::vector<float> columns(static_cast<std::size_t>(col_rows * col_cols));
+#pragma omp for schedule(static)
+    for (std::int64_t b = 0; b < batch; ++b) {
+      im2col(x.row(b), g, columns);
+      auto out_row = y.row(b);
+      // out[oc, pix] = filters[oc, :] * columns[:, pix]
+      gemm(filters, std::span<const float>(columns), out_row, out_channels_, col_rows,
+           col_cols);
+      for (std::int64_t oc = 0; oc < out_channels_; ++oc) {
+        float* plane = out_row.data() + oc * col_cols;
+        const float bv = bias[static_cast<std::size_t>(oc)];
+        for (std::int64_t p = 0; p < col_cols; ++p) plane[p] += bv;
+      }
+    }
+  }
+}
+
+void Conv2d::backward(const Shape3& in, std::span<const float> params, const Tensor& x,
+                      const Tensor& grad_out, Tensor& grad_in,
+                      std::span<float> grad_params) const {
+  const ConvGeometry g = geometry(in);
+  const std::int64_t batch = x.dim(0);
+  const std::int64_t col_rows = g.col_rows();
+  const std::int64_t col_cols = g.col_cols();
+  FEDHISYN_CHECK(grad_out.numel() == batch * out_channels_ * col_cols);
+  FEDHISYN_CHECK(static_cast<std::int64_t>(grad_params.size()) == param_count(in));
+
+  const auto filters = params.subspan(0, static_cast<std::size_t>(out_channels_ * col_rows));
+  auto grad_filters = grad_params.subspan(0, static_cast<std::size_t>(out_channels_ * col_rows));
+  auto grad_bias = grad_params.subspan(static_cast<std::size_t>(out_channels_ * col_rows),
+                                       static_cast<std::size_t>(out_channels_));
+
+  grad_in.resize({batch, in.c, in.h, in.w});
+  grad_in.fill(0.0f);
+
+  // Serial over the batch: grad_filters accumulation must stay deterministic
+  // (fixed order) and race-free; batch sizes here are small.
+  std::vector<float> columns(static_cast<std::size_t>(col_rows * col_cols));
+  std::vector<float> grad_columns(static_cast<std::size_t>(col_rows * col_cols));
+  for (std::int64_t b = 0; b < batch; ++b) {
+    im2col(x.row(b), g, columns);
+    const auto go_row = grad_out.row(b);
+    // dFilters[oc, cr] += grad_out[oc, pix] * columns[cr, pix]^T
+    gemm_nt(go_row, std::span<const float>(columns), grad_filters, out_channels_, col_cols,
+            col_rows, /*beta=*/1.0f);
+    // dBias[oc] += sum_pix grad_out[oc, pix]
+    for (std::int64_t oc = 0; oc < out_channels_; ++oc) {
+      const float* plane = go_row.data() + oc * col_cols;
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < col_cols; ++p) acc += plane[p];
+      grad_bias[static_cast<std::size_t>(oc)] += static_cast<float>(acc);
+    }
+    // dColumns[cr, pix] = filters^T[cr, oc] * grad_out[oc, pix]
+    gemm_tn(filters, go_row, grad_columns, col_rows, out_channels_, col_cols);
+    col2im(grad_columns, g, grad_in.row(b));
+  }
+}
+
+}  // namespace fedhisyn::nn

@@ -1,0 +1,53 @@
+// Layer interface for the flat-parameter network.
+//
+// Layers are stateless: parameters are passed in as a span slice of the
+// network's flat weight blob, and activations are cached by the caller
+// (nn::Workspace).  This makes a Network instance shareable across the whole
+// simulated device fleet — each device only owns its weight vector — and
+// makes FL aggregation a plain weighted sum of blobs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace fedhisyn::nn {
+
+/// Logical activation shape of one sample: channels x height x width.
+/// Vectors use {features, 1, 1}.
+struct Shape3 {
+  std::int64_t c = 0;
+  std::int64_t h = 1;
+  std::int64_t w = 1;
+
+  std::int64_t numel() const { return c * h * w; }
+  bool operator==(const Shape3&) const = default;
+};
+
+/// A stateless differentiable layer.  `x` is the batch input [B, in.numel()],
+/// `y` the batch output [B, out.numel()], both row-major with one sample per
+/// row.  `backward` receives the same cached input `x` that `forward` saw.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual std::string name() const = 0;
+  virtual Shape3 output_shape(const Shape3& in) const = 0;
+  /// Number of trainable parameters given the input shape.
+  virtual std::int64_t param_count(const Shape3& in) const = 0;
+  /// Initialise this layer's slice of the weight blob.
+  virtual void init_params(const Shape3& in, std::span<float> params, Rng& rng) const = 0;
+
+  virtual void forward(const Shape3& in, std::span<const float> params, const Tensor& x,
+                       Tensor& y) const = 0;
+  /// grad_in is overwritten; grad_params is *accumulated* into (caller zeroes
+  /// the blob once per backward pass).
+  virtual void backward(const Shape3& in, std::span<const float> params, const Tensor& x,
+                        const Tensor& grad_out, Tensor& grad_in,
+                        std::span<float> grad_params) const = 0;
+};
+
+}  // namespace fedhisyn::nn

@@ -1,0 +1,69 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "common/check.hpp"
+
+namespace fedhisyn::nn {
+
+namespace {
+constexpr char kMagic[4] = {'F', 'H', 'S', 'W'};
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+std::uint64_t fletcher64(std::span<const float> data) {
+  // Fletcher-64 over the raw 32-bit words of the payload.
+  std::uint64_t sum1 = 0;
+  std::uint64_t sum2 = 0;
+  for (const float value : data) {
+    std::uint32_t word;
+    std::memcpy(&word, &value, sizeof(word));
+    sum1 = (sum1 + word) % 0xFFFFFFFFull;
+    sum2 = (sum2 + sum1) % 0xFFFFFFFFull;
+  }
+  return (sum2 << 32) | sum1;
+}
+
+void save_weights(const std::string& path, std::span<const float> weights) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  FEDHISYN_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  out.write(kMagic, sizeof(kMagic));
+  const std::uint32_t version = kVersion;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  const std::uint64_t count = weights.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(reinterpret_cast<const char*>(weights.data()),
+            static_cast<std::streamsize>(weights.size() * sizeof(float)));
+  const std::uint64_t checksum = fletcher64(weights);
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  FEDHISYN_CHECK_MSG(out.good(), "write to '" << path << "' failed");
+}
+
+std::vector<float> load_weights(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  FEDHISYN_CHECK_MSG(in.good(), "cannot open '" << path << "' for reading");
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  FEDHISYN_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+                     "'" << path << "' is not a FedHiSyn weight file");
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  FEDHISYN_CHECK_MSG(in.good() && version == kVersion,
+                     "'" << path << "' has unsupported version " << version);
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  FEDHISYN_CHECK_MSG(in.good(), "'" << path << "' is truncated (no count)");
+  std::vector<float> weights(static_cast<std::size_t>(count));
+  in.read(reinterpret_cast<char*>(weights.data()),
+          static_cast<std::streamsize>(count * sizeof(float)));
+  FEDHISYN_CHECK_MSG(in.good(), "'" << path << "' is truncated (payload)");
+  std::uint64_t checksum = 0;
+  in.read(reinterpret_cast<char*>(&checksum), sizeof(checksum));
+  FEDHISYN_CHECK_MSG(in.good() && checksum == fletcher64(weights),
+                     "'" << path << "' failed its checksum — corrupt file");
+  return weights;
+}
+
+}  // namespace fedhisyn::nn

@@ -1,0 +1,26 @@
+// Weight-blob serialization: a small self-describing binary format so models
+// can be checkpointed between experiment phases and shipped between
+// processes.  Layout (little-endian):
+//   magic "FHSW" | u32 version | u64 count | count x f32 | u64 fletcher64
+// The checksum covers the payload; load() verifies magic, version, size and
+// checksum and throws CheckError on any mismatch.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fedhisyn::nn {
+
+/// Write a weight blob to `path` (overwrites).  Throws CheckError on I/O
+/// failure.
+void save_weights(const std::string& path, std::span<const float> weights);
+
+/// Read a weight blob written by save_weights.  Throws CheckError on a
+/// missing/truncated/corrupt file.
+std::vector<float> load_weights(const std::string& path);
+
+/// Checksum used by the format (exposed for tests).
+std::uint64_t fletcher64(std::span<const float> data);
+
+}  // namespace fedhisyn::nn

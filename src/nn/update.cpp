@@ -1,0 +1,42 @@
+#include "nn/update.hpp"
+
+#include "common/check.hpp"
+
+namespace fedhisyn::nn {
+
+void sgd_step(std::span<float> weights, std::span<const float> grad, float lr) {
+  FEDHISYN_CHECK(weights.size() == grad.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) weights[i] -= lr * grad[i];
+}
+
+void prox_sgd_step(std::span<float> weights, std::span<const float> grad,
+                   std::span<const float> anchor, float lr, float mu) {
+  FEDHISYN_CHECK(weights.size() == grad.size());
+  FEDHISYN_CHECK(weights.size() == anchor.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights[i] -= lr * (grad[i] + mu * (weights[i] - anchor[i]));
+  }
+}
+
+void momentum_sgd_step(std::span<float> weights, std::span<const float> grad,
+                       std::span<float> velocity, float lr, float momentum) {
+  FEDHISYN_CHECK(weights.size() == grad.size());
+  FEDHISYN_CHECK(weights.size() == velocity.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    velocity[i] = momentum * velocity[i] + grad[i];
+    weights[i] -= lr * velocity[i];
+  }
+}
+
+void scaffold_step(std::span<float> weights, std::span<const float> grad,
+                   std::span<const float> c_local, std::span<const float> c_global,
+                   float lr) {
+  FEDHISYN_CHECK(weights.size() == grad.size());
+  FEDHISYN_CHECK(weights.size() == c_local.size());
+  FEDHISYN_CHECK(weights.size() == c_global.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights[i] -= lr * (grad[i] - c_local[i] + c_global[i]);
+  }
+}
+
+}  // namespace fedhisyn::nn

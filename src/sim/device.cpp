@@ -1,0 +1,75 @@
+#include "sim/device.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace fedhisyn::sim {
+
+Fleet make_fleet_uniform_epochs(std::size_t devices, Rng& rng, int min_epochs,
+                                int max_epochs) {
+  FEDHISYN_CHECK(devices >= 1);
+  FEDHISYN_CHECK(min_epochs >= 1 && max_epochs >= min_epochs);
+  Fleet fleet(devices);
+  for (std::size_t i = 0; i < devices; ++i) {
+    const int achievable =
+        min_epochs + static_cast<int>(rng.uniform_index(
+                         static_cast<std::uint64_t>(max_epochs - min_epochs + 1)));
+    fleet[i].id = i;
+    fleet[i].epoch_time = static_cast<double>(max_epochs) / achievable;
+  }
+  return fleet;
+}
+
+Fleet make_fleet_ratio(std::size_t devices, double h_ratio, Rng& rng) {
+  FEDHISYN_CHECK(devices >= 1);
+  FEDHISYN_CHECK(h_ratio >= 1.0);
+  Fleet fleet(devices);
+  const double log_h = std::log(h_ratio);
+  for (std::size_t i = 0; i < devices; ++i) {
+    fleet[i].id = i;
+    fleet[i].epoch_time = std::exp(rng.uniform() * log_h);
+  }
+  // Pin the extremes so H is exact, not just the sampling range.
+  if (devices >= 2) {
+    auto [min_it, max_it] =
+        std::minmax_element(fleet.begin(), fleet.end(), [](const auto& a, const auto& b) {
+          return a.epoch_time < b.epoch_time;
+        });
+    min_it->epoch_time = 1.0;
+    max_it->epoch_time = h_ratio;
+  }
+  return fleet;
+}
+
+Fleet make_fleet_homogeneous(std::size_t devices, double epoch_time) {
+  FEDHISYN_CHECK(devices >= 1);
+  FEDHISYN_CHECK(epoch_time > 0.0);
+  Fleet fleet(devices);
+  for (std::size_t i = 0; i < devices; ++i) {
+    fleet[i].id = i;
+    fleet[i].epoch_time = epoch_time;
+  }
+  return fleet;
+}
+
+double local_training_time(const DeviceProfile& device, int epochs) {
+  FEDHISYN_CHECK(epochs >= 1);
+  return device.epoch_time * epochs;
+}
+
+double ring_metric(const DeviceProfile& device, int epochs) {
+  return local_training_time(device, epochs) + device.link_delay;
+}
+
+double slowest_job_time(const Fleet& fleet, int epochs) {
+  FEDHISYN_CHECK(!fleet.empty());
+  double worst = 0.0;
+  for (const auto& device : fleet) {
+    worst = std::max(worst, local_training_time(device, epochs));
+  }
+  return worst;
+}
+
+}  // namespace fedhisyn::sim

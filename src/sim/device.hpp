@@ -1,0 +1,52 @@
+// Device fleet model: each simulated device carries a compute profile whose
+// only observable is the (virtual) time it needs per local-training epoch —
+// exactly the response-latency signal the FedHiSyn server clusters on.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fedhisyn::sim {
+
+/// One simulated edge device.
+struct DeviceProfile {
+  std::size_t id = 0;
+  /// Virtual time to run ONE local epoch on this device.  The paper's
+  /// "time to complete local training t_i" is epochs_per_job * epoch_time.
+  double epoch_time = 1.0;
+  /// Outgoing link delay: time for a model sent by this device to reach its
+  /// ring successor.  The paper's Eq. (5) metric is M_i = t_i + D_{i,i+1};
+  /// it then simplifies to equal delays (M_i = t_i), which is the default 0
+  /// here.  Non-zero delays exercise the general form.
+  double link_delay = 0.0;
+};
+
+using Fleet = std::vector<DeviceProfile>;
+
+/// Paper §6.1 fleet: "the number of epochs for each device to complete local
+/// training in one round is randomly distributed in [5, 50]".  With a 5-epoch
+/// job this means epoch times spread 1x..10x; we sample achievable-epochs e_i
+/// uniformly in [min_epochs, max_epochs] and set epoch_time = max_epochs/e_i
+/// so the fastest device has epoch_time 1.
+Fleet make_fleet_uniform_epochs(std::size_t devices, Rng& rng, int min_epochs = 5,
+                                int max_epochs = 50);
+
+/// Fig. 7 fleet: heterogeneity ratio H = t_max/t_min; epoch times sampled
+/// log-uniformly in [1, H] so every decade of speed is equally represented.
+Fleet make_fleet_ratio(std::size_t devices, double h_ratio, Rng& rng);
+
+/// Homogeneous fleet (Observation 1 experiments).
+Fleet make_fleet_homogeneous(std::size_t devices, double epoch_time = 1.0);
+
+/// t_i for a local-training job of `epochs` epochs on device i.
+double local_training_time(const DeviceProfile& device, int epochs);
+
+/// The paper's Eq. (5) ring-ordering metric: M_i = t_i + D_{i,i+1}.
+double ring_metric(const DeviceProfile& device, int epochs);
+
+/// max_i local_training_time — the paper's round duration (slowest device).
+double slowest_job_time(const Fleet& fleet, int epochs);
+
+}  // namespace fedhisyn::sim

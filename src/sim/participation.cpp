@@ -1,0 +1,21 @@
+#include "sim/participation.hpp"
+
+#include "common/check.hpp"
+
+namespace fedhisyn::sim {
+
+std::vector<std::size_t> sample_participants(std::size_t devices, double probability,
+                                             Rng& rng, std::size_t min_participants) {
+  FEDHISYN_CHECK(devices >= 1);
+  FEDHISYN_CHECK(probability > 0.0 && probability <= 1.0);
+  min_participants = std::min(min_participants, devices);
+  for (;;) {
+    std::vector<std::size_t> selected;
+    for (std::size_t d = 0; d < devices; ++d) {
+      if (rng.bernoulli(probability)) selected.push_back(d);
+    }
+    if (selected.size() >= min_participants) return selected;
+  }
+}
+
+}  // namespace fedhisyn::sim

@@ -1,0 +1,18 @@
+// Per-round participant selection.  The paper: "each device has a 100%, 50%,
+// or 10% chance of participating in the training" — i.e. independent
+// Bernoulli draws each round, with a re-draw if nobody shows up.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fedhisyn::sim {
+
+/// Device ids participating this round.  probability in (0, 1]; never empty
+/// (re-drawn until at least `min_participants` devices are selected).
+std::vector<std::size_t> sample_participants(std::size_t devices, double probability,
+                                             Rng& rng, std::size_t min_participants = 2);
+
+}  // namespace fedhisyn::sim

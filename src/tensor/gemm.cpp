@@ -1,0 +1,78 @@
+#include "tensor/gemm.hpp"
+
+#include "common/check.hpp"
+
+namespace fedhisyn {
+
+namespace {
+// Rows below this skip the OpenMP dispatch: the models here are small and
+// two-core parallelism only pays off for real batches.
+constexpr std::int64_t kParallelRowThreshold = 16;
+}  // namespace
+
+void gemm(std::span<const float> a, std::span<const float> b, std::span<float> c,
+          std::int64_t m, std::int64_t k, std::int64_t n, float beta) {
+  FEDHISYN_CHECK(static_cast<std::int64_t>(a.size()) >= m * k);
+  FEDHISYN_CHECK(static_cast<std::int64_t>(b.size()) >= k * n);
+  FEDHISYN_CHECK(static_cast<std::int64_t>(c.size()) >= m * n);
+#pragma omp parallel for schedule(static) if (m >= kParallelRowThreshold)
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* ci = c.data() + i * n;
+    if (beta == 0.0f) {
+      for (std::int64_t j = 0; j < n; ++j) ci[j] = 0.0f;
+    } else if (beta != 1.0f) {
+      for (std::int64_t j = 0; j < n; ++j) ci[j] *= beta;
+    }
+    const float* ai = a.data() + i * k;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float aip = ai[p];
+      if (aip == 0.0f) continue;
+      const float* bp = b.data() + p * n;
+      for (std::int64_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+    }
+  }
+}
+
+void gemm_nt(std::span<const float> a, std::span<const float> b, std::span<float> c,
+             std::int64_t m, std::int64_t k, std::int64_t n, float beta) {
+  FEDHISYN_CHECK(static_cast<std::int64_t>(a.size()) >= m * k);
+  FEDHISYN_CHECK(static_cast<std::int64_t>(b.size()) >= n * k);
+  FEDHISYN_CHECK(static_cast<std::int64_t>(c.size()) >= m * n);
+#pragma omp parallel for schedule(static) if (m >= kParallelRowThreshold)
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* ai = a.data() + i * k;
+    float* ci = c.data() + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* bj = b.data() + j * k;
+      float acc = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+      ci[j] = (beta == 0.0f ? 0.0f : beta * ci[j]) + acc;
+    }
+  }
+}
+
+void gemm_tn(std::span<const float> a, std::span<const float> b, std::span<float> c,
+             std::int64_t m, std::int64_t k, std::int64_t n, float beta) {
+  FEDHISYN_CHECK(static_cast<std::int64_t>(a.size()) >= k * m);
+  FEDHISYN_CHECK(static_cast<std::int64_t>(b.size()) >= k * n);
+  FEDHISYN_CHECK(static_cast<std::int64_t>(c.size()) >= m * n);
+  // C[i,j] = sum_p A[p,i] * B[p,j].  Parallelise over C rows; each thread
+  // walks A and B column-wise but rows of C are independent.
+#pragma omp parallel for schedule(static) if (m >= kParallelRowThreshold)
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* ci = c.data() + i * n;
+    if (beta == 0.0f) {
+      for (std::int64_t j = 0; j < n; ++j) ci[j] = 0.0f;
+    } else if (beta != 1.0f) {
+      for (std::int64_t j = 0; j < n; ++j) ci[j] *= beta;
+    }
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float api = a[p * m + i];
+      if (api == 0.0f) continue;
+      const float* bp = b.data() + p * n;
+      for (std::int64_t j = 0; j < n; ++j) ci[j] += api * bp[j];
+    }
+  }
+}
+
+}  // namespace fedhisyn

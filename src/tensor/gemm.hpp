@@ -1,0 +1,27 @@
+// Single-precision GEMM kernels used by the dense and convolution layers.
+//
+// C (MxN) += / = op(A) * op(B).  Row-major, OpenMP-parallel over output rows,
+// blocked over K for cache locality.  Not a BLAS replacement — sized for the
+// small models the FL simulation trains — but kernels are verified against a
+// naive reference in tests/tensor_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace fedhisyn {
+
+/// C = A(MxK) * B(KxN) + beta * C.  All matrices row-major, contiguous.
+void gemm(std::span<const float> a, std::span<const float> b, std::span<float> c,
+          std::int64_t m, std::int64_t k, std::int64_t n, float beta = 0.0f);
+
+/// C = A(MxK) * B^T where B is (NxK) row-major; i.e. C[i,j] = dot(A[i,:], B[j,:]).
+void gemm_nt(std::span<const float> a, std::span<const float> b, std::span<float> c,
+             std::int64_t m, std::int64_t k, std::int64_t n, float beta = 0.0f);
+
+/// C = A^T(MxK, stored KxM... ) — precisely: A is (KxM) row-major, B is (KxN)
+/// row-major, C(MxN) = A^T * B + beta*C.  Used for weight gradients.
+void gemm_tn(std::span<const float> a, std::span<const float> b, std::span<float> c,
+             std::int64_t m, std::int64_t k, std::int64_t n, float beta = 0.0f);
+
+}  // namespace fedhisyn

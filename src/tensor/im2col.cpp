@@ -1,0 +1,55 @@
+#include "tensor/im2col.hpp"
+
+#include "common/check.hpp"
+
+namespace fedhisyn {
+
+void im2col(std::span<const float> image, const ConvGeometry& g, std::span<float> columns) {
+  FEDHISYN_CHECK(static_cast<std::int64_t>(image.size()) >= g.channels * g.height * g.width);
+  FEDHISYN_CHECK(static_cast<std::int64_t>(columns.size()) >= g.col_rows() * g.col_cols());
+  const std::int64_t oh = g.out_height();
+  const std::int64_t ow = g.out_width();
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.channels; ++c) {
+    for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
+      for (std::int64_t kx = 0; kx < g.kernel; ++kx, ++row) {
+        float* out_row = columns.data() + row * (oh * ow);
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t sy = y * g.stride + ky - g.padding;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t sx = x * g.stride + kx - g.padding;
+            const bool inside = sy >= 0 && sy < g.height && sx >= 0 && sx < g.width;
+            out_row[y * ow + x] =
+                inside ? image[(c * g.height + sy) * g.width + sx] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(std::span<const float> columns, const ConvGeometry& g, std::span<float> image_grad) {
+  FEDHISYN_CHECK(static_cast<std::int64_t>(image_grad.size()) >= g.channels * g.height * g.width);
+  FEDHISYN_CHECK(static_cast<std::int64_t>(columns.size()) >= g.col_rows() * g.col_cols());
+  const std::int64_t oh = g.out_height();
+  const std::int64_t ow = g.out_width();
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.channels; ++c) {
+    for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
+      for (std::int64_t kx = 0; kx < g.kernel; ++kx, ++row) {
+        const float* in_row = columns.data() + row * (oh * ow);
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t sy = y * g.stride + ky - g.padding;
+          if (sy < 0 || sy >= g.height) continue;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t sx = x * g.stride + kx - g.padding;
+            if (sx < 0 || sx >= g.width) continue;
+            image_grad[(c * g.height + sy) * g.width + sx] += in_row[y * ow + x];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace fedhisyn

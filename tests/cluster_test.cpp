@@ -1,0 +1,124 @@
+// Unit + property tests for the 1-D k-means used by FedHiSyn and FedAT.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/kmeans.hpp"
+#include "common/rng.hpp"
+
+namespace fedhisyn::cluster {
+namespace {
+
+TEST(KMeans, SeparatesObviousGroups) {
+  // Two tight groups far apart must be split exactly.
+  std::vector<double> values = {1.0, 1.1, 0.9, 100.0, 100.2, 99.8};
+  Rng rng(1);
+  const auto result = kmeans_1d(values, 2, rng);
+  ASSERT_EQ(result.k, 2u);
+  EXPECT_EQ(result.assignment[0], result.assignment[1]);
+  EXPECT_EQ(result.assignment[1], result.assignment[2]);
+  EXPECT_EQ(result.assignment[3], result.assignment[4]);
+  EXPECT_EQ(result.assignment[4], result.assignment[5]);
+  EXPECT_NE(result.assignment[0], result.assignment[3]);
+}
+
+TEST(KMeans, CentroidsSortedAscendingAndClusterZeroIsFastest) {
+  std::vector<double> values = {50.0, 1.0, 25.0, 2.0, 49.0, 24.0};
+  Rng rng(2);
+  const auto result = kmeans_1d(values, 3, rng);
+  ASSERT_GE(result.k, 2u);
+  EXPECT_TRUE(std::is_sorted(result.centroids.begin(), result.centroids.end()));
+  // The smallest value must land in cluster 0.
+  EXPECT_EQ(result.assignment[1], 0u);
+}
+
+TEST(KMeans, KOneGroupsEverything) {
+  std::vector<double> values = {3.0, 7.0, 11.0};
+  Rng rng(3);
+  const auto result = kmeans_1d(values, 1, rng);
+  EXPECT_EQ(result.k, 1u);
+  for (const auto a : result.assignment) EXPECT_EQ(a, 0u);
+  EXPECT_NEAR(result.centroids[0], 7.0, 1e-9);
+}
+
+TEST(KMeans, FewerDistinctValuesThanK) {
+  std::vector<double> values = {5.0, 5.0, 5.0, 9.0};
+  Rng rng(4);
+  const auto result = kmeans_1d(values, 10, rng);
+  EXPECT_EQ(result.k, 2u);
+}
+
+TEST(KMeans, SinglePoint) {
+  std::vector<double> values = {42.0};
+  Rng rng(5);
+  const auto result = kmeans_1d(values, 3, rng);
+  EXPECT_EQ(result.k, 1u);
+  EXPECT_EQ(result.assignment[0], 0u);
+}
+
+TEST(KMeans, GroupByClusterPartitionsIndices) {
+  std::vector<double> values = {1.0, 9.0, 1.2, 9.1, 1.1};
+  Rng rng(6);
+  const auto result = kmeans_1d(values, 2, rng);
+  const auto groups = group_by_cluster(result);
+  std::size_t total = 0;
+  for (const auto& group : groups) total += group.size();
+  EXPECT_EQ(total, values.size());
+  // Fast group (cluster 0) holds the three ~1.0 values.
+  ASSERT_EQ(result.k, 2u);
+  EXPECT_EQ(groups[0].size(), 3u);
+}
+
+class KMeansProperty : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(KMeansProperty, AssignmentIsNearestCentroid) {
+  const auto [seed, k] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  std::vector<double> values(60);
+  for (auto& v : values) v = rng.uniform(1.0, 10.0);
+  const auto result = kmeans_1d(values, k, rng);
+  ASSERT_GE(result.k, 1u);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double assigned = std::abs(values[i] - result.centroids[result.assignment[i]]);
+    for (std::size_t c = 0; c < result.k; ++c) {
+      // Allow ties up to numerical noise.
+      EXPECT_LE(assigned, std::abs(values[i] - result.centroids[c]) + 1e-9);
+    }
+  }
+}
+
+TEST_P(KMeansProperty, CentroidIsMeanOfMembers) {
+  const auto [seed, k] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed + 1000));
+  std::vector<double> values(45);
+  for (auto& v : values) v = rng.uniform(0.0, 100.0);
+  const auto result = kmeans_1d(values, k, rng);
+  const auto groups = group_by_cluster(result);
+  for (std::size_t c = 0; c < result.k; ++c) {
+    ASSERT_FALSE(groups[c].empty());
+    double mean = 0.0;
+    for (const auto i : groups[c]) mean += values[i];
+    mean /= static_cast<double>(groups[c].size());
+    EXPECT_NEAR(result.centroids[c], mean, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, KMeansProperty,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                                            ::testing::Values<std::size_t>(1, 2, 5, 10)));
+
+TEST(KMeans, DeterministicGivenSeed) {
+  std::vector<double> values(30);
+  Rng data_rng(7);
+  for (auto& v : values) v = data_rng.uniform(1.0, 10.0);
+  Rng a(8);
+  Rng b(8);
+  const auto r1 = kmeans_1d(values, 4, a);
+  const auto r2 = kmeans_1d(values, 4, b);
+  EXPECT_EQ(r1.assignment, r2.assignment);
+  EXPECT_EQ(r1.centroids, r2.centroids);
+}
+
+}  // namespace
+}  // namespace fedhisyn::cluster

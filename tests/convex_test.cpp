@@ -1,0 +1,130 @@
+// Tests for the §5 convergence-analysis substrate (core/convex.hpp):
+// closed-form optimum, Gamma behaviour, step-size schedule, and convergence
+// of the two training procedures.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "core/convex.hpp"
+
+namespace fedhisyn::core {
+namespace {
+
+TEST(QuadraticFederation, OptimumIsStationary) {
+  Rng rng(3);
+  QuadraticFederation fed(8, 6, 1.0, 4.0, 2.0, rng);
+  const auto& w_star = fed.optimum();
+  // Perturbing the optimum in any coordinate must not reduce F.
+  for (std::size_t d = 0; d < fed.dim(); ++d) {
+    for (const double eps : {1e-3, -1e-3}) {
+      auto w = w_star;
+      w[d] += eps;
+      EXPECT_GE(fed.global_value(w), fed.f_star() - 1e-12) << "dim " << d;
+    }
+  }
+}
+
+TEST(QuadraticFederation, GammaZeroWhenIid) {
+  Rng rng(5);
+  QuadraticFederation fed(10, 4, 1.0, 3.0, /*heterogeneity=*/0.0, rng);
+  EXPECT_NEAR(fed.gamma(), 0.0, 1e-12);
+}
+
+TEST(QuadraticFederation, GammaGrowsWithHeterogeneity) {
+  double previous = -1.0;
+  for (const double h : {0.0, 1.0, 2.0, 4.0}) {
+    Rng rng(7);  // same seed -> same curvatures/directions, scaled spread
+    QuadraticFederation fed(10, 4, 1.0, 3.0, h, rng);
+    EXPECT_GT(fed.gamma(), previous);
+    previous = fed.gamma();
+  }
+}
+
+TEST(QuadraticFederation, DeviceMinimaAreZero) {
+  Rng rng(9);
+  QuadraticFederation fed(5, 3, 1.0, 2.0, 1.5, rng);
+  // F_i at its own minimizer b_i is 0 by construction; check via a probe
+  // device value at the global optimum is >= 0 and finite.
+  const auto& w_star = fed.optimum();
+  for (std::size_t i = 0; i < fed.device_count(); ++i) {
+    EXPECT_GE(fed.device_value(i, w_star), 0.0);
+  }
+}
+
+TEST(QuadraticFederation, SgdStepDescendsDeterministicGradient) {
+  Rng rng(11);
+  QuadraticFederation fed(4, 5, 1.0, 2.0, 1.0, rng);
+  std::vector<double> w(fed.dim(), 3.0);
+  const double before = fed.device_value(0, w);
+  Rng step_rng(13);
+  fed.sgd_step(0, w, /*eta=*/0.1, /*sigma=*/0.0, step_rng);
+  EXPECT_LT(fed.device_value(0, w), before);
+}
+
+TEST(TheoremStepSize, DecaysAsOneOverT) {
+  const double eta0 = theorem_step_size(1.0, 4.0, 5, 0);
+  const double eta100 = theorem_step_size(1.0, 4.0, 5, 100);
+  const double eta1000 = theorem_step_size(1.0, 4.0, 5, 1000);
+  EXPECT_GT(eta0, eta100);
+  EXPECT_GT(eta100, eta1000);
+  // gamma = max(8L/mu, E) = 32; eta_t = 2/(gamma+t).
+  EXPECT_NEAR(eta0, 2.0 / 32.0, 1e-12);
+  EXPECT_NEAR(eta100, 2.0 / 132.0, 1e-12);
+}
+
+TEST(ConvexRuns, FedAvgConvergesToOptimum) {
+  Rng rng(15);
+  QuadraticFederation fed(10, 6, 1.0, 4.0, 1.0, rng);
+  Rng run_rng(17);
+  const auto result = run_fedavg_convex(fed, 80, 5, /*sigma=*/0.1, run_rng);
+  EXPECT_LT(result.suboptimality.back(), 0.05 * result.suboptimality.front());
+  for (const double value : result.suboptimality) EXPECT_GE(value, -1e-9);
+}
+
+TEST(ConvexRuns, RingConvergesToOptimum) {
+  Rng rng(19);
+  QuadraticFederation fed(10, 6, 1.0, 4.0, 1.0, rng);
+  Rng run_rng(21);
+  const auto result = run_ring_convex(fed, 80, 5, /*hops=*/4, 0.1, run_rng);
+  EXPECT_LT(result.suboptimality.back(), 0.05 * result.suboptimality.front());
+}
+
+TEST(ConvexRuns, HopsOneEqualsFedAvg) {
+  Rng rng(23);
+  QuadraticFederation fed(6, 4, 1.0, 3.0, 1.0, rng);
+  Rng a(25);
+  Rng b(25);
+  const auto fedavg = run_fedavg_convex(fed, 10, 3, 0.05, a);
+  const auto ring1 = run_ring_convex(fed, 10, 3, 1, 0.05, b);
+  ASSERT_EQ(fedavg.suboptimality.size(), ring1.suboptimality.size());
+  for (std::size_t r = 0; r < fedavg.suboptimality.size(); ++r) {
+    EXPECT_DOUBLE_EQ(fedavg.suboptimality[r], ring1.suboptimality[r]);
+  }
+}
+
+TEST(ConvexRuns, CirculationBeatsFedAvgOnHeterogeneousData) {
+  // Theorem 5.1's punchline: the circulated model's effective Gamma is
+  // smaller, so for the same round budget it ends closer to F*.
+  Rng rng(27);
+  QuadraticFederation fed(16, 8, 1.0, 4.0, /*heterogeneity=*/3.0, rng);
+  Rng a(29);
+  Rng b(29);
+  const auto fedavg = run_fedavg_convex(fed, 40, 5, 0.1, a);
+  const auto ring = run_ring_convex(fed, 40, 5, /*hops=*/6, 0.1, b);
+  EXPECT_LT(ring.suboptimality.back(), fedavg.suboptimality.back());
+}
+
+TEST(ConvexRuns, RejectsBadArguments) {
+  Rng rng(31);
+  QuadraticFederation fed(4, 3, 1.0, 2.0, 1.0, rng);
+  Rng run_rng(33);
+  EXPECT_THROW(run_ring_convex(fed, 0, 1, 1, 0.0, run_rng), CheckError);
+  EXPECT_THROW(run_ring_convex(fed, 1, 0, 1, 0.0, run_rng), CheckError);
+  EXPECT_THROW(run_ring_convex(fed, 1, 1, 0, 0.0, run_rng), CheckError);
+  EXPECT_THROW(QuadraticFederation(4, 3, 2.0, 1.0, 1.0, rng), CheckError);
+}
+
+}  // namespace
+}  // namespace fedhisyn::core

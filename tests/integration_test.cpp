@@ -1,0 +1,216 @@
+// Cross-module integration tests: the paper's qualitative claims reproduced
+// at miniature scale, plus the Eq. (5) link-delay extension of the ring
+// engine.  These are the "does the system behave like the paper says"
+// checks; the bench harnesses produce the full-size evidence.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/decentral.hpp"
+#include "core/factory.hpp"
+#include "core/fedhisyn_algo.hpp"
+#include "core/ring_engine.hpp"
+#include "core/runner.hpp"
+#include "data/divergence.hpp"
+#include "data/partition.hpp"
+#include "data/synthetic.hpp"
+#include "nn/models.hpp"
+
+namespace fedhisyn::core {
+namespace {
+
+struct MiniWorld {
+  data::FederatedData fed;
+  nn::Network network;
+  sim::Fleet fleet;
+
+  MiniWorld(bool iid, std::uint64_t seed, std::size_t devices = 12)
+      : network(nn::make_mlp(16, 4, {16})) {
+    Rng rng(seed);
+    data::SyntheticSpec spec;
+    spec.name = "mini";
+    spec.n_classes = 4;
+    spec.width = 16;
+    spec.separation = 2.2;
+    spec.noise = 1.0;
+    spec.nuisance = 0.3;
+    auto split = data::generate(spec, 40 * static_cast<std::int64_t>(devices), 300, rng);
+    fed.train = std::move(split.train);
+    fed.test = std::move(split.test);
+    data::PartitionConfig pc;
+    pc.iid = iid;
+    pc.beta = 0.3;
+    fed.shards = data::make_partition(fed.train, devices, pc, rng);
+    fleet = sim::make_fleet_uniform_epochs(devices, rng);
+  }
+
+  FlContext context(FlOptions opts = {}) const {
+    FlContext ctx;
+    ctx.network = &network;
+    ctx.fed = &fed;
+    ctx.fleet = &fleet;
+    ctx.opts = opts;
+    return ctx;
+  }
+};
+
+FlOptions mini_opts() {
+  FlOptions opts;
+  opts.local_epochs = 3;
+  opts.batch_size = 20;
+  opts.clusters = 3;
+  return opts;
+}
+
+TEST(PaperClaims, FedHiSynReachesTargetInFewerRoundsOnNonIid) {
+  // The headline Table 1 claim, miniaturised: on Non-IID data with a
+  // heterogeneous fleet, FedHiSyn needs fewer normalised server rounds than
+  // FedAvg to reach the same accuracy.
+  // 20 devices: the ring effect needs enough devices per class to matter;
+  // the full-size evidence is bench/table1_main.
+  const MiniWorld world(false, 7, /*devices=*/20);
+  const auto ctx = world.context(mini_opts());
+  // A discriminative target: high enough that a few rounds don't hit it by
+  // luck.
+  const float target = 0.72f;
+  const int rounds = 16;
+
+  auto run = [&](const char* name) {
+    auto algorithm = make_algorithm(name, ctx);
+    ExperimentRunner runner(rounds, target);
+    return runner.run(*algorithm);
+  };
+  const auto fedhisyn = run("FedHiSyn");
+  const auto fedavg = run("FedAvg");
+  ASSERT_TRUE(fedhisyn.comm_to_target.has_value())
+      << "FedHiSyn never hit " << target << " (final " << fedhisyn.final_accuracy << ")";
+  if (fedavg.comm_to_target.has_value()) {
+    EXPECT_LE(*fedhisyn.comm_to_target, *fedavg.comm_to_target);
+  } else {
+    SUCCEED();  // FedAvg never reached the target at all — stronger still
+  }
+  EXPECT_GE(fedhisyn.best_accuracy, fedavg.best_accuracy - 0.02f);
+}
+
+TEST(PaperClaims, ServerMitigatesForgettingVsServerless) {
+  // §6.2: "the existence of the server reduces the difference in training
+  // accuracy" — full FedHiSyn must beat pure ring circulation (no server)
+  // on Non-IID data over the same number of intervals.
+  const MiniWorld world(false, 9);
+  auto opts = mini_opts();
+  const auto ctx = world.context(opts);
+  FedHiSynAlgo with_server(ctx);
+  DecentralRing without_server(ctx);
+  for (int round = 0; round < 10; ++round) {
+    with_server.run_round();
+    without_server.run_round();
+  }
+  EXPECT_GT(with_server.evaluate_test_accuracy(),
+            without_server.evaluate_test_accuracy() - 0.02f);
+}
+
+TEST(PaperClaims, RingOrderingBeatsRandomOnHeterogeneousFleet) {
+  // Observation 2 inside the full algorithm: small-to-large ordering should
+  // not be worse than random ordering (paper: clearly better).
+  const MiniWorld world(false, 11);
+  auto ordered_opts = mini_opts();
+  ordered_opts.ring_order = sim::RingOrder::kSmallToLarge;
+  auto random_opts = mini_opts();
+  random_opts.ring_order = sim::RingOrder::kRandom;
+  FedHiSynAlgo ordered(world.context(ordered_opts));
+  FedHiSynAlgo random_ring(world.context(random_opts));
+  float ordered_best = 0.0f;
+  float random_best = 0.0f;
+  for (int round = 0; round < 10; ++round) {
+    ordered.run_round();
+    random_ring.run_round();
+    ordered_best = std::max(ordered_best, ordered.evaluate_test_accuracy());
+    random_best = std::max(random_best, random_ring.evaluate_test_accuracy());
+  }
+  EXPECT_GT(ordered_best, random_best - 0.05f);
+}
+
+TEST(PaperClaims, MoreHeterogeneityMeansMoreRingWork) {
+  // Fig. 7's mechanism: with a larger H, fast devices complete more ring
+  // jobs per round (FedAvg gains nothing from them).
+  Rng rng(13);
+  const MiniWorld world(true, 13);
+
+  auto hops_for = [&](double h) {
+    auto fleet_world = MiniWorld(true, 13);
+    Rng fleet_rng(17);
+    fleet_world.fleet = sim::make_fleet_ratio(12, h, fleet_rng);
+    FedHiSynAlgo algorithm(fleet_world.context(mini_opts()));
+    algorithm.run_round();
+    return algorithm.last_round_hops();
+  };
+  const auto hops_h2 = hops_for(2.0);
+  const auto hops_h10 = hops_for(10.0);
+  EXPECT_GT(hops_h10, hops_h2);
+}
+
+TEST(LinkDelay, DelayedRingStillCirculates) {
+  MiniWorld world(true, 19);
+  for (auto& device : world.fleet) device.link_delay = 0.5;
+  const auto ctx = world.context(mini_opts());
+  FedHiSynAlgo algorithm(ctx);
+  algorithm.run_round();
+  EXPECT_GT(algorithm.last_round_hops(), 0);
+  const float before = algorithm.evaluate_test_accuracy();
+  for (int round = 0; round < 4; ++round) algorithm.run_round();
+  EXPECT_GT(algorithm.evaluate_test_accuracy(), before);
+}
+
+TEST(LinkDelay, LargeDelaysReduceHops) {
+  // A delay comparable to the interval means most forwards are dropped.
+  MiniWorld fast_links(true, 23);
+  MiniWorld slow_links(true, 23);
+  for (auto& device : slow_links.fleet) device.link_delay = 1e6;
+  FedHiSynAlgo with_fast(fast_links.context(mini_opts()));
+  FedHiSynAlgo with_slow(slow_links.context(mini_opts()));
+  with_fast.run_round();
+  with_slow.run_round();
+  EXPECT_GT(with_fast.last_round_hops(), with_slow.last_round_hops());
+  EXPECT_EQ(with_slow.last_round_hops(), 0);
+}
+
+TEST(LinkDelay, RingMetricAddsDelay) {
+  sim::DeviceProfile device;
+  device.epoch_time = 2.0;
+  device.link_delay = 3.0;
+  EXPECT_DOUBLE_EQ(sim::ring_metric(device, 5), 13.0);
+}
+
+TEST(LinkDelay, ZeroDelayMatchesLegacyBehaviour) {
+  // The zero-delay fast path and an epsilon delay should give very similar
+  // (not necessarily identical) circulation; zero-delay must be unaffected
+  // by the delivery-event machinery.
+  MiniWorld a(false, 29);
+  MiniWorld b(false, 29);
+  FedHiSynAlgo algo_a(a.context(mini_opts()));
+  FedHiSynAlgo algo_b(b.context(mini_opts()));
+  for (int round = 0; round < 3; ++round) {
+    algo_a.run_round();
+    algo_b.run_round();
+  }
+  const auto wa = algo_a.global_weights();
+  const auto wb = algo_b.global_weights();
+  for (std::size_t i = 0; i < wa.size(); ++i) ASSERT_FLOAT_EQ(wa[i], wb[i]);
+}
+
+TEST(PaperClaims, DivergenceMetricOrdersPartitions) {
+  // Eq. (4): Dirichlet(0.1) >> Dirichlet(0.8) > IID in divergence — and
+  // FedHiSyn's premise is that ring circulation tackles exactly this.
+  Rng rng(31);
+  const auto split = data::generate(data::mnist_like(), 2000, 100, rng);
+  const auto iid = data::partition_iid(split.train, 20, rng);
+  const auto mild = data::partition_dirichlet(split.train, 20, 0.8, rng);
+  const auto harsh = data::partition_dirichlet(split.train, 20, 0.1, rng);
+  const double d_iid = data::label_divergence(split.train, iid);
+  const double d_mild = data::label_divergence(split.train, mild);
+  const double d_harsh = data::label_divergence(split.train, harsh);
+  EXPECT_LT(d_iid, d_mild);
+  EXPECT_LT(d_mild, d_harsh);
+}
+
+}  // namespace
+}  // namespace fedhisyn::core

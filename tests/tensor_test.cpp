@@ -1,0 +1,264 @@
+// Unit tests for src/tensor: GEMM kernels against a naive reference,
+// softmax/xent numerics, im2col/col2im adjointness, elementwise ops.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/im2col.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace fedhisyn {
+namespace {
+
+std::vector<float> random_vec(std::size_t n, Rng& rng) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+void naive_gemm(const std::vector<float>& a, const std::vector<float>& b,
+                std::vector<float>& c, std::int64_t m, std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(a[i * k + p]) * b[p * n + j];
+      }
+      c[i * n + j] = static_cast<float>(acc);
+    }
+  }
+}
+
+TEST(Tensor, ShapeAndNumel) {
+  Tensor t({3, 4, 5});
+  EXPECT_EQ(t.numel(), 60);
+  EXPECT_EQ(t.rank(), 3u);
+  EXPECT_EQ(t.dim(1), 4);
+  t.reshape({12, 5});
+  EXPECT_EQ(t.dim(0), 12);
+  EXPECT_THROW(t.reshape({7, 7}), CheckError);
+}
+
+TEST(Tensor, RowViewIsContiguousSlice) {
+  Tensor t({4, 3});
+  for (std::int64_t i = 0; i < 12; ++i) t.at(i) = static_cast<float>(i);
+  const auto row2 = t.row(2);
+  EXPECT_EQ(row2.size(), 3u);
+  EXPECT_FLOAT_EQ(row2[0], 6.0f);
+  EXPECT_FLOAT_EQ(row2[2], 8.0f);
+  EXPECT_THROW(t.row(4), CheckError);
+}
+
+TEST(Tensor, FillAndResize) {
+  Tensor t({2, 2});
+  t.fill(3.5f);
+  EXPECT_FLOAT_EQ(t.at(3), 3.5f);
+  t.resize({5});
+  EXPECT_EQ(t.numel(), 5);
+  EXPECT_FLOAT_EQ(t.at(0), 0.0f);  // resize zeroes
+}
+
+class GemmShapes : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapes, MatchesNaiveReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(100 + m * 7 + k * 3 + n);
+  const auto a = random_vec(static_cast<std::size_t>(m * k), rng);
+  const auto b = random_vec(static_cast<std::size_t>(k * n), rng);
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  std::vector<float> ref(static_cast<std::size_t>(m * n));
+  gemm(a, b, c, m, k, n);
+  naive_gemm(a, b, ref, m, k, n);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(c[i], ref[i], 1e-3f * (std::abs(ref[i]) + 1.0f)) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GemmShapes,
+                         ::testing::Values(std::make_tuple(1, 1, 1),
+                                           std::make_tuple(3, 5, 7),
+                                           std::make_tuple(17, 4, 9),
+                                           std::make_tuple(32, 64, 10),
+                                           std::make_tuple(64, 8, 128),
+                                           std::make_tuple(2, 100, 2)));
+
+TEST(Gemm, BetaAccumulates) {
+  Rng rng(3);
+  const auto a = random_vec(6, rng);
+  const auto b = random_vec(6, rng);
+  std::vector<float> c(4, 1.0f);
+  gemm(a, b, c, 2, 3, 2, /*beta=*/1.0f);
+  std::vector<float> ref(4, 0.0f);
+  naive_gemm(a, b, ref, 2, 3, 2);
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(c[i], ref[i] + 1.0f, 1e-4f);
+}
+
+TEST(Gemm, TransposedVariantsAgreeWithExplicitTranspose) {
+  Rng rng(5);
+  const std::int64_t m = 6;
+  const std::int64_t k = 9;
+  const std::int64_t n = 4;
+  const auto a = random_vec(static_cast<std::size_t>(m * k), rng);   // m x k
+  const auto b = random_vec(static_cast<std::size_t>(n * k), rng);   // n x k
+  // gemm_nt: C = A * B^T
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  gemm_nt(a, b, c, m, k, n);
+  std::vector<float> bt(static_cast<std::size_t>(k * n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t p = 0; p < k; ++p) bt[p * n + i] = b[i * k + p];
+  }
+  std::vector<float> ref(static_cast<std::size_t>(m * n));
+  naive_gemm(a, bt, ref, m, k, n);
+  for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-4f);
+
+  // gemm_tn: C = A2^T * B2 with A2 (k x m), B2 (k x n).
+  const auto a2 = random_vec(static_cast<std::size_t>(k * m), rng);
+  const auto b2 = random_vec(static_cast<std::size_t>(k * n), rng);
+  std::vector<float> c2(static_cast<std::size_t>(m * n));
+  gemm_tn(a2, b2, c2, m, k, n);
+  std::vector<float> a2t(static_cast<std::size_t>(m * k));
+  for (std::int64_t p = 0; p < k; ++p) {
+    for (std::int64_t i = 0; i < m; ++i) a2t[i * k + p] = a2[p * m + i];
+  }
+  std::vector<float> ref2(static_cast<std::size_t>(m * n));
+  naive_gemm(a2t, b2, ref2, m, k, n);
+  for (std::size_t i = 0; i < ref2.size(); ++i) EXPECT_NEAR(c2[i], ref2[i], 1e-4f);
+}
+
+TEST(Ops, AxpyScaleCopyDot) {
+  std::vector<float> x = {1.0f, 2.0f, 3.0f};
+  std::vector<float> y = {10.0f, 20.0f, 30.0f};
+  axpy(2.0f, x, y);
+  EXPECT_FLOAT_EQ(y[2], 36.0f);
+  scale(0.5f, y);
+  EXPECT_FLOAT_EQ(y[0], 6.0f);
+  std::vector<float> z(3);
+  copy(x, z);
+  EXPECT_FLOAT_EQ(z[1], 2.0f);
+  EXPECT_DOUBLE_EQ(dot(x, x), 14.0);
+  EXPECT_NEAR(norm(x), std::sqrt(14.0), 1e-9);
+}
+
+TEST(Ops, ArgmaxFirstOnTies) {
+  std::vector<float> v = {1.0f, 5.0f, 5.0f, 2.0f};
+  EXPECT_EQ(argmax(v), 1);
+}
+
+TEST(Ops, SoftmaxRowsNormalises) {
+  std::vector<float> logits = {1.0f, 2.0f, 3.0f, 1000.0f, 1000.0f, 1000.0f};
+  softmax_rows(logits, 2, 3);
+  EXPECT_NEAR(logits[0] + logits[1] + logits[2], 1.0f, 1e-5f);
+  // Huge logits must not overflow (stability).
+  EXPECT_NEAR(logits[3], 1.0f / 3.0f, 1e-5f);
+}
+
+TEST(Ops, XentLossMatchesHandComputation) {
+  // Two rows, 2 classes, logits chosen so softmax is analytic.
+  std::vector<float> logits = {0.0f, 0.0f, 1.0f, 0.0f};
+  std::vector<std::int32_t> labels = {0, 1};
+  const float loss = softmax_xent_rows(logits, labels, 2, 2, {});
+  // Row 0: -log(0.5); Row 1: -log(sigmoid(-1)) = log(1 + e^1).
+  const double expected = 0.5 * (std::log(2.0) + std::log(1.0 + std::exp(1.0)));
+  EXPECT_NEAR(loss, expected, 1e-5);
+}
+
+TEST(Ops, XentGradientMatchesFiniteDifference) {
+  Rng rng(9);
+  const std::int64_t rows = 4;
+  const std::int64_t cols = 5;
+  auto logits = random_vec(static_cast<std::size_t>(rows * cols), rng);
+  std::vector<std::int32_t> labels = {0, 3, 2, 4};
+  std::vector<float> grad(logits.size());
+  softmax_xent_rows(logits, labels, rows, cols, grad);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    auto plus = logits;
+    auto minus = logits;
+    plus[i] += eps;
+    minus[i] -= eps;
+    const float lp = softmax_xent_rows(plus, labels, rows, cols, {});
+    const float lm = softmax_xent_rows(minus, labels, rows, cols, {});
+    const float fd = (lp - lm) / (2.0f * eps);
+    EXPECT_NEAR(grad[i], fd, 5e-3f) << "logit " << i;
+  }
+}
+
+TEST(Ops, XentRejectsOutOfRangeLabel) {
+  std::vector<float> logits = {0.0f, 0.0f};
+  std::vector<std::int32_t> bad = {5};
+  EXPECT_THROW(softmax_xent_rows(logits, bad, 1, 2, {}), CheckError);
+}
+
+TEST(Ops, WeightedSumConvexCombination) {
+  std::vector<float> a = {1.0f, 1.0f};
+  std::vector<float> b = {3.0f, 5.0f};
+  std::vector<std::span<const float>> inputs = {a, b};
+  std::vector<double> weights = {0.25, 0.75};
+  std::vector<float> out(2);
+  weighted_sum(inputs, weights, out);
+  EXPECT_FLOAT_EQ(out[0], 2.5f);
+  EXPECT_FLOAT_EQ(out[1], 4.0f);
+}
+
+TEST(Im2col, IdentityKernelReproducesImage) {
+  // 1x1 kernel, stride 1, no padding: columns == image.
+  ConvGeometry g;
+  g.channels = 2;
+  g.height = 3;
+  g.width = 3;
+  g.kernel = 1;
+  Rng rng(21);
+  const auto image = random_vec(18, rng);
+  std::vector<float> columns(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+  im2col(image, g, columns);
+  for (std::size_t i = 0; i < image.size(); ++i) EXPECT_FLOAT_EQ(columns[i], image[i]);
+}
+
+TEST(Im2col, PaddingProducesZeroBorder) {
+  ConvGeometry g;
+  g.channels = 1;
+  g.height = 2;
+  g.width = 2;
+  g.kernel = 3;
+  g.padding = 1;
+  std::vector<float> image = {1.0f, 2.0f, 3.0f, 4.0f};
+  std::vector<float> columns(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+  im2col(image, g, columns);
+  // Output is 2x2; kernel position (0,0) for output (0,0) hits padding.
+  EXPECT_FLOAT_EQ(columns[0], 0.0f);
+  // Kernel centre (1,1) row: should reproduce the image.
+  const std::int64_t centre_row = (1 * 3 + 1) * g.col_cols();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(columns[static_cast<std::size_t>(centre_row + i)], image[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Im2col, Col2imIsAdjoint) {
+  // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property that
+  // makes the convolution backward pass correct.
+  ConvGeometry g;
+  g.channels = 2;
+  g.height = 5;
+  g.width = 4;
+  g.kernel = 3;
+  g.stride = 1;
+  g.padding = 1;
+  Rng rng(33);
+  const auto x = random_vec(static_cast<std::size_t>(g.channels * g.height * g.width), rng);
+  const auto y = random_vec(static_cast<std::size_t>(g.col_rows() * g.col_cols()), rng);
+  std::vector<float> cols(y.size());
+  im2col(x, g, cols);
+  std::vector<float> xt(x.size(), 0.0f);
+  col2im(y, g, xt);
+  const double lhs = dot(cols, y);
+  const double rhs = dot(x, xt);
+  EXPECT_NEAR(lhs, rhs, 1e-3 * (std::abs(lhs) + 1.0));
+}
+
+}  // namespace
+}  // namespace fedhisyn

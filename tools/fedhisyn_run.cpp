@@ -1,0 +1,147 @@
+// fedhisyn_run — command-line driver for single experiments.
+//
+//   fedhisyn_run --dataset cifar10 --method FedHiSyn --beta 0.3 \
+//                --participation 0.5 --clusters 10 --rounds 50 \
+//                --history-csv run.csv --save-model final.fhsw
+//
+// Flags (all optional; defaults follow the paper's §6.1 setting):
+//   --dataset NAME        mnist|emnist|cifar10|cifar100        [mnist]
+//   --method NAME         FedHiSyn|FedAvg|TFedAvg|TAFedAvg|FedProx|
+//                         FedAT|SCAFFOLD|FedAsync               [FedHiSyn]
+//   --rounds N            aggregation rounds                    [suite default]
+//   --devices N           fleet size                            [scale default]
+//   --iid                 IID partition (default: Dirichlet)
+//   --beta X              Dirichlet concentration               [0.3]
+//   --participation X     per-round participation prob.         [1.0]
+//   --clusters K          number of k-means classes             [10]
+//   --lr X / --epochs N / --batch N                             [0.1 / 5 / 50]
+//   --momentum X          heavy-ball momentum for local SGD     [0]
+//   --ring-order NAME     small-to-large|large-to-small|random  [small-to-large]
+//   --aggregation NAME    uniform|time|sample                   [uniform]
+//   --heterogeneity H     use an exact-ratio fleet instead of the
+//                         5..50-epochs fleet
+//   --cnn                 use the paper's CNN (image suites)
+//   --seed N                                                    [1]
+//   --target X            rounds-to-target accuracy             [suite default]
+//   --eval-every N                                              [1]
+//   --history-csv PATH    write the per-round history as CSV
+//   --save-model PATH     save the final global weights (.fhsw)
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.hpp"
+#include "common/env.hpp"
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "core/factory.hpp"
+#include "core/presets.hpp"
+#include "core/runner.hpp"
+#include "nn/serialize.hpp"
+
+namespace {
+
+fedhisyn::sim::RingOrder parse_ring_order(const std::string& name) {
+  using fedhisyn::sim::RingOrder;
+  if (name == "small-to-large") return RingOrder::kSmallToLarge;
+  if (name == "large-to-small") return RingOrder::kLargeToSmall;
+  if (name == "random") return RingOrder::kRandom;
+  std::fprintf(stderr, "unknown --ring-order '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+fedhisyn::core::AggregationRule parse_aggregation(const std::string& name) {
+  using fedhisyn::core::AggregationRule;
+  if (name == "uniform") return AggregationRule::kUniform;
+  if (name == "time") return AggregationRule::kTimeWeighted;
+  if (name == "sample") return AggregationRule::kSampleWeighted;
+  std::fprintf(stderr, "unknown --aggregation '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int run_experiment(const fedhisyn::Flags& flags);
+
+int main(int argc, char** argv) {
+  const auto flags = fedhisyn::Flags::parse(argc - 1, argv + 1);
+  try {
+    return run_experiment(flags);
+  } catch (const fedhisyn::CheckError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
+
+int run_experiment(const fedhisyn::Flags& flags) {
+  using namespace fedhisyn;
+
+  core::BuildConfig config;
+  config.dataset = flags.get("dataset", "mnist");
+  config.scale = core::default_scale(config.dataset, full_scale_enabled());
+  if (flags.has("rounds")) config.scale.rounds = static_cast<int>(flags.get_long("rounds", 0));
+  if (flags.has("devices")) {
+    config.scale.devices = static_cast<std::size_t>(flags.get_long("devices", 0));
+  }
+  config.partition.iid = flags.get_bool("iid", false);
+  config.partition.beta = flags.get_double("beta", 0.3);
+  if (flags.has("heterogeneity")) {
+    config.fleet_kind = core::FleetKind::kRatio;
+    config.fleet_ratio_h = flags.get_double("heterogeneity", 10.0);
+  }
+  config.use_cnn = flags.get_bool("cnn", false);
+  config.seed = static_cast<std::uint64_t>(flags.get_long("seed", 1));
+  const auto experiment = core::build_experiment(config);
+
+  core::FlOptions opts;
+  opts.lr = static_cast<float>(flags.get_double("lr", 0.1));
+  opts.local_epochs = static_cast<int>(flags.get_long("epochs", 5));
+  opts.batch_size = static_cast<int>(flags.get_long("batch", 50));
+  opts.participation = flags.get_double("participation", 1.0);
+  opts.clusters = static_cast<std::size_t>(flags.get_long("clusters", 10));
+  opts.momentum = static_cast<float>(flags.get_double("momentum", 0.0));
+  opts.ring_order = parse_ring_order(flags.get("ring-order", "small-to-large"));
+  opts.aggregation = parse_aggregation(flags.get("aggregation", "uniform"));
+  opts.seed = config.seed;
+
+  const std::string method = flags.get("method", "FedHiSyn");
+  auto algorithm = core::make_algorithm(method, experiment.context(opts));
+
+  const float target = flags.has("target")
+                           ? static_cast<float>(flags.get_double("target", 0.5))
+                           : core::target_accuracy(config.dataset);
+  core::ExperimentRunner runner(config.scale.rounds, target);
+  runner.set_eval_every(static_cast<int>(flags.get_long("eval-every", 1)));
+  const std::string partition_label =
+      config.partition.iid
+          ? std::string("IID")
+          : "Dirichlet(" + Table::fmt_f(config.partition.beta, 1) + ")";
+  std::printf("%s on %s: %zu devices, %s partition, %.0f%% participation, %d rounds\n",
+              method.c_str(), config.dataset.c_str(), config.scale.devices,
+              partition_label.c_str(), opts.participation * 100.0, config.scale.rounds);
+  const auto result = runner.run(*algorithm);
+
+  Table history({"round", "accuracy", "comm (FedAvg rounds)", "d2d"});
+  for (const auto& record : result.history) {
+    history.add_row({Table::fmt_i(record.round), Table::fmt_pct(record.accuracy),
+                     Table::fmt_f(record.comm_rounds, 1),
+                     Table::fmt_f(record.d2d_transfers, 0)});
+  }
+  history.print();
+  std::printf("final %.2f%%, best %.2f%%, target %.0f%%: %s\n",
+              result.final_accuracy * 100.0, result.best_accuracy * 100.0,
+              target * 100.0, result.table_cell().c_str());
+
+  if (flags.has("history-csv")) {
+    const std::string path = flags.get("history-csv", "");
+    std::ofstream out(path);
+    out << history.to_csv();
+    std::printf("history written to %s\n", path.c_str());
+  }
+  if (flags.has("save-model")) {
+    const std::string path = flags.get("save-model", "");
+    nn::save_weights(path, algorithm->global_weights());
+    std::printf("model written to %s (%zu params)\n", path.c_str(),
+                algorithm->global_weights().size());
+  }
+  return 0;
+}
