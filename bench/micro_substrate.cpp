@@ -4,7 +4,9 @@
 // regressions in the simulator's hot loops are visible.
 #include <benchmark/benchmark.h>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "core/factory.hpp"
 #include "core/fedhisyn_algo.hpp"
 #include "core/presets.hpp"
 #include "core/trainer.hpp"
@@ -63,7 +65,7 @@ void BM_CnnTrainStep(benchmark::State& state) {
 }
 BENCHMARK(BM_CnnTrainStep);
 
-void BM_FedHiSynRound(benchmark::State& state) {
+core::BuildConfig round_bench_config() {
   core::BuildConfig config;
   config.dataset = "mnist";
   config.scale.devices = 20;
@@ -71,7 +73,11 @@ void BM_FedHiSynRound(benchmark::State& state) {
   config.scale.test_samples = 100;
   config.partition.iid = false;
   config.partition.beta = 0.3;
-  const auto experiment = core::build_experiment(config);
+  return config;
+}
+
+void BM_FedHiSynRound(benchmark::State& state) {
+  const auto experiment = core::build_experiment(round_bench_config());
   core::FlOptions opts;
   opts.clusters = 4;
   core::FedHiSynAlgo algorithm(experiment.context(opts));
@@ -81,6 +87,42 @@ void BM_FedHiSynRound(benchmark::State& state) {
   state.SetLabel("20 devices, 30 samples each");
 }
 BENCHMARK(BM_FedHiSynRound)->Unit(benchmark::kMillisecond);
+
+// Serial vs parallel device execution: the same round workload at pool sizes
+// 1/2/4 so the per-round speedup is measured, not asserted.  Runs are
+// bit-identical across sizes (see tests/parallel_test.cpp); only wall clock
+// may differ.  Arg(0) = pool size.
+void BM_RoundThroughput(benchmark::State& state, const char* method) {
+  auto& pool = ParallelExecutor::global();
+  pool.set_thread_count(static_cast<std::size_t>(state.range(0)));
+  auto config = round_bench_config();
+  config.fleet_kind = core::FleetKind::kRatio;
+  config.fleet_ratio_h = 4.0;
+  const auto experiment = core::build_experiment(config);
+  core::FlOptions opts;
+  opts.clusters = 4;
+  opts.local_epochs = 2;
+  auto algorithm = core::make_algorithm(method, experiment.context(opts));
+  for (auto _ : state) {
+    algorithm->run_round();
+  }
+  state.SetItemsProcessed(state.iterations());  // items = rounds
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  pool.set_thread_count(ParallelExecutor::threads_from_env());
+}
+
+void BM_FedAvgRoundThroughput(benchmark::State& state) {
+  BM_RoundThroughput(state, "FedAvg");
+}
+void BM_FedHiSynRoundThroughput(benchmark::State& state) {
+  BM_RoundThroughput(state, "FedHiSyn");
+}
+BENCHMARK(BM_FedAvgRoundThroughput)
+    ->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_FedHiSynRoundThroughput)
+    ->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 

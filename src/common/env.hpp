@@ -1,4 +1,8 @@
 // Environment-variable helpers shared by the bench harnesses.
+//
+// Knobs recognised across the library:
+//   FEDHISYN_FULL=1     paper-scale experiment sizes (see presets.hpp)
+//   FEDHISYN_THREADS=N  worker-pool size (see common/parallel.hpp)
 #pragma once
 
 #include <string>

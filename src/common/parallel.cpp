@@ -1,0 +1,160 @@
+#include "common/parallel.hpp"
+
+#include <stdexcept>
+
+#include "common/env.hpp"
+
+namespace fedhisyn {
+
+namespace {
+thread_local bool tl_in_parallel = false;
+thread_local std::size_t tl_slot = 0;
+}  // namespace
+
+ParallelExecutor::ParallelExecutor(std::size_t threads) {
+  start_workers(threads == 0 ? threads_from_env() : threads);
+}
+
+ParallelExecutor::~ParallelExecutor() { stop_workers(); }
+
+void ParallelExecutor::start_workers(std::size_t threads) {
+  if (threads < 1) threads = 1;
+  // Workers begin with seen == 0; restart the generation clock so a pool
+  // resized after running jobs doesn't hand new workers a phantom stale job.
+  generation_ = 0;
+  workers_.reserve(threads - 1);
+  for (std::size_t slot = 1; slot < threads; ++slot) {
+    workers_.emplace_back([this, slot] { worker_loop(slot); });
+  }
+}
+
+void ParallelExecutor::stop_workers() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& worker : workers_) worker.join();
+  workers_.clear();
+  stop_ = false;
+}
+
+void ParallelExecutor::set_thread_count(std::size_t threads) {
+  stop_workers();
+  start_workers(threads);
+}
+
+void ParallelExecutor::worker_loop(std::size_t slot) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const Body* body = nullptr;
+    std::size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_work_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      body = body_;
+      n = job_n_;
+    }
+    run_span(*body, n, slot);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_workers_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ParallelExecutor::run_span(const Body& body, std::size_t n, std::size_t slot) {
+  const bool was_in_parallel = tl_in_parallel;
+  const std::size_t previous_slot = tl_slot;
+  tl_in_parallel = true;
+  tl_slot = slot;
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) break;
+    try {
+      body(i, slot);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+  }
+  tl_in_parallel = was_in_parallel;
+  tl_slot = previous_slot;
+}
+
+void ParallelExecutor::parallel_for(std::size_t n, const Body& body) {
+  if (n == 0) return;
+  // Inline execution matches the pooled contract: drain every index, then
+  // rethrow the first exception — so exceptional runs see the same side
+  // effects for any thread count.
+  const auto run_inline = [&](std::size_t slot) {
+    std::exception_ptr first;
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        body(i, slot);
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
+  };
+  // Nested loops run inline: the current slot keeps its scratch, and a body
+  // that itself calls parallel_for can never deadlock on the pool it is
+  // running on.
+  if (tl_in_parallel) {
+    run_inline(tl_slot);
+    return;
+  }
+  // Top-level but effectively serial: run on the caller, leaving the region
+  // flag clear so kernels inside the single body (gemm rows, conv batches)
+  // can still fan out over the idle pool.
+  if (workers_.empty() || n == 1) {
+    run_inline(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (dispatching_) {
+      throw std::logic_error(
+          "ParallelExecutor::parallel_for: concurrent top-level dispatch from "
+          "another thread — the pool has one job slot (nested calls are fine)");
+    }
+    dispatching_ = true;
+    body_ = &body;
+    job_n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    active_workers_ = workers_.size();
+    ++generation_;
+  }
+  cv_work_.notify_all();
+  run_span(body, n, /*slot=*/0);
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [&] { return active_workers_ == 0; });
+    error = error_;
+    error_ = nullptr;
+    body_ = nullptr;
+    dispatching_ = false;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+bool ParallelExecutor::in_parallel_region() { return tl_in_parallel; }
+
+std::size_t ParallelExecutor::threads_from_env() {
+  const long from_env = env_long("FEDHISYN_THREADS", 0);
+  if (from_env > 0) return static_cast<std::size_t>(from_env);
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? hardware : 1;
+}
+
+ParallelExecutor& ParallelExecutor::global() {
+  static ParallelExecutor executor;
+  return executor;
+}
+
+}  // namespace fedhisyn

@@ -1,0 +1,92 @@
+// ParallelExecutor: the library-wide worker pool behind every parallel loop
+// (per-device local training, GEMM rows, conv batches, fleet evaluation).
+//
+// Design rules that every caller relies on:
+//   * Determinism is the caller's contract: a body invoked for index i must
+//     depend only on i (plus per-index seeded Rng streams), never on which
+//     thread runs it or in which order indices complete.  Under that contract
+//     a 1-thread run and an N-thread run are bit-identical.
+//   * The caller thread participates as slot 0; pool workers are slots
+//     1..thread_count()-1.  `slot` is stable for the duration of one body
+//     invocation and is the index for per-thread scratch arrays.
+//   * Nested parallel_for calls (e.g. a parallel GEMM inside a parallel
+//     device loop) execute inline on the calling thread — no deadlock, no
+//     oversubscription.
+//
+// Thread count resolution: FEDHISYN_THREADS env var when set to a positive
+// integer, otherwise std::thread::hardware_concurrency().  Programs can
+// override at runtime with set_thread_count() (the --threads flag of the CLI
+// and benches); tests drop to 1 thread to compare against parallel runs.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fedhisyn {
+
+class ParallelExecutor {
+ public:
+  using Body = std::function<void(std::size_t index, std::size_t slot)>;
+
+  /// threads == 0 resolves via threads_from_env().
+  explicit ParallelExecutor(std::size_t threads = 0);
+  ~ParallelExecutor();
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+
+  /// Total execution slots (pool workers + the participating caller).
+  std::size_t thread_count() const { return workers_.size() + 1; }
+
+  /// Resize the pool (clamped to >= 1).  Must not be called while a
+  /// parallel_for on this executor is in flight.
+  void set_thread_count(std::size_t threads);
+
+  /// Invoke body(i, slot) once for every i in [0, n).  Blocks until all
+  /// indices complete; the first exception thrown by a body is rethrown on
+  /// the caller after the loop drains.  Safe to call with n == 0.
+  ///
+  /// One top-level dispatch at a time: the pool has a single job slot, so
+  /// concurrent parallel_for calls from *different* threads on the same
+  /// executor are rejected (throws).  Nested calls from inside a body are
+  /// fine (they run inline); fan out over items, not over callers.
+  void parallel_for(std::size_t n, const Body& body);
+
+  /// True when the current thread is already inside a parallel_for body (used
+  /// by kernels to decide against re-dispatching).
+  static bool in_parallel_region();
+
+  /// FEDHISYN_THREADS if set to a positive integer, else hardware
+  /// concurrency, else 1.
+  static std::size_t threads_from_env();
+
+  /// The process-wide pool used by the library's kernels and algorithms.
+  static ParallelExecutor& global();
+
+ private:
+  void worker_loop(std::size_t slot);
+  void run_span(const Body& body, std::size_t n, std::size_t slot);
+  void start_workers(std::size_t threads);
+  void stop_workers();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  const Body* body_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::size_t active_workers_ = 0;
+  std::exception_ptr error_;
+  bool dispatching_ = false;  // guards the single top-level job slot
+};
+
+}  // namespace fedhisyn

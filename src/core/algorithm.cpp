@@ -1,6 +1,8 @@
 #include "core/algorithm.hpp"
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
+#include "core/trainer.hpp"
 #include "sim/participation.hpp"
 
 namespace fedhisyn::core {
@@ -27,6 +29,64 @@ double FlAlgorithm::round_duration() const {
 
 std::vector<std::size_t> FlAlgorithm::draw_participants() {
   return sim::sample_participants(ctx_.device_count(), ctx_.opts.participation, rng_);
+}
+
+Rng FlAlgorithm::job_stream(std::uint64_t round_mult, std::uint64_t device_mult,
+                            std::size_t device, std::uint64_t sequence) const {
+  return Rng(ctx_.opts.seed ^
+             (round_mult * static_cast<std::uint64_t>(rounds_completed_ + 1)) ^
+             (device_mult * (device + 1)) ^ sequence);
+}
+
+std::vector<std::uint8_t> FlAlgorithm::pretrain_first_wave(
+    sim::EventQueue& queue, std::vector<std::vector<float>>& working,
+    const std::vector<std::size_t>& participants, double interval, int epochs,
+    std::uint64_t round_mult, std::uint64_t device_mult) {
+  std::vector<std::size_t> wave;
+  for (const auto device : participants) {
+    const double job = sim::local_training_time((*ctx_.fleet)[device], epochs);
+    if (job <= interval) {
+      wave.push_back(device);
+      queue.schedule(job, device);
+    }
+  }
+  auto& pool = ParallelExecutor::global();
+  if (job_scratch_.size() < pool.thread_count()) job_scratch_.resize(pool.thread_count());
+  // Bytes, not vector<bool>: concurrent writes to adjacent bits would race.
+  std::vector<std::uint8_t> pretrained(ctx_.device_count(), 0);
+  pool.parallel_for(wave.size(), [&](std::size_t i, std::size_t slot) {
+    const std::size_t device = wave[i];
+    // The queue stamped wave[i]'s event with schedule sequence i, so seeding
+    // with i reproduces the exact Rng the serial event loop would build.
+    run_async_job(device, epochs,
+                  job_stream(round_mult, device_mult, device,
+                             static_cast<std::uint64_t>(i)),
+                  working[device], job_scratch_[slot]);
+    pretrained[device] = 1;
+  });
+  return pretrained;
+}
+
+void FlAlgorithm::train_event_job(std::size_t device, std::uint64_t sequence,
+                                  std::vector<std::vector<float>>& working, int epochs,
+                                  std::uint64_t round_mult, std::uint64_t device_mult,
+                                  std::vector<std::uint8_t>& pretrained) {
+  if (pretrained[device]) {
+    pretrained[device] = 0;  // the pre-trained result is consumed here
+    return;
+  }
+  if (job_scratch_.empty()) job_scratch_.resize(1);
+  run_async_job(device, epochs, job_stream(round_mult, device_mult, device, sequence),
+                working[device], job_scratch_[0]);
+}
+
+void FlAlgorithm::run_async_job(std::size_t device, int epochs, Rng rng,
+                                std::span<float> model, TrainScratch& scratch) {
+  UpdateExtras extras;
+  extras.momentum = ctx_.opts.momentum;
+  train_local(*ctx_.network, model, ctx_.fed->shards[device], epochs,
+              ctx_.opts.batch_size, ctx_.opts.lr, UpdateKind::kSgd, extras, rng,
+              scratch);
 }
 
 }  // namespace fedhisyn::core

@@ -3,14 +3,18 @@
 // which the slowest device finishes one local-training job).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "core/options.hpp"
+#include "core/trainer.hpp"
 #include "nn/network.hpp"
 #include "sim/comm.hpp"
+#include "sim/events.hpp"
 
 namespace fedhisyn::core {
 
@@ -44,6 +48,46 @@ class FlAlgorithm {
   double round_duration() const;
   /// Draw this round's participant set.
   std::vector<std::size_t> draw_participants();
+
+  /// Rng stream for one local-training job, keyed on (seed, round, device,
+  /// event sequence).  `round_mult`/`device_mult` are per-algorithm salts so
+  /// different methods never share streams.
+  Rng job_stream(std::uint64_t round_mult, std::uint64_t device_mult,
+                 std::size_t device, std::uint64_t sequence) const;
+
+  /// For the fully-asynchronous baselines: schedule each participant's first
+  /// job that fits `interval` on `queue` (in participants order, mirroring
+  /// the queue's schedule-sequence stamping) and pre-train those jobs in
+  /// parallel — they all start from the round-start snapshots in `working`,
+  /// so completion order cannot affect them.  Returns per-device flags the
+  /// caller's event loop consumes: the first completion of a flagged device
+  /// is already trained.  Later jobs (re-downloads of the serially-mixed
+  /// global model) must stay in event order.
+  std::vector<std::uint8_t> pretrain_first_wave(
+      sim::EventQueue& queue, std::vector<std::vector<float>>& working,
+      const std::vector<std::size_t>& participants, double interval, int epochs,
+      std::uint64_t round_mult, std::uint64_t device_mult);
+
+  /// Event-loop counterpart of pretrain_first_wave: consume the device's
+  /// pre-trained first job, or train a later job serially in event order
+  /// with the (round, device, sequence)-keyed stream.
+  void train_event_job(std::size_t device, std::uint64_t sequence,
+                       std::vector<std::vector<float>>& working, int epochs,
+                       std::uint64_t round_mult, std::uint64_t device_mult,
+                       std::vector<std::uint8_t>& pretrained);
+
+ private:
+  /// The one local-training invocation both async paths share, so their
+  /// hyper-parameters can never diverge (the first-wave/serial bit-identity
+  /// depends on it).
+  void run_async_job(std::size_t device, int epochs, Rng rng, std::span<float> model,
+                     TrainScratch& scratch);
+
+  /// Per-slot scratch reused across rounds by the async helpers (scratch
+  /// contents never leak into results — train_local resets per job).
+  std::vector<TrainScratch> job_scratch_;
+
+ protected:
 
   FlContext ctx_;
   std::vector<float> global_;

@@ -1,11 +1,10 @@
 #include "core/decentral.hpp"
 
-#include <omp.h>
-
 #include <algorithm>
 
 #include "cluster/kmeans.hpp"
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "core/aggregate.hpp"
 #include "tensor/ops.hpp"
 
@@ -29,16 +28,19 @@ float mean_device_accuracy(const FlContext& ctx,
                            const std::vector<std::size_t>& devices) {
   FEDHISYN_CHECK(!devices.empty());
   const auto& test = ctx.fed->test;
+  auto& pool = ParallelExecutor::global();
+  std::vector<nn::Workspace> workspaces(pool.thread_count());
+  // Per-device accuracies land in their own slots and are summed in index
+  // order afterwards, so the reduction is bit-identical for any thread count
+  // (an OpenMP-style racy reduction would not be).
+  std::vector<double> accuracies(devices.size(), 0.0);
+  pool.parallel_for(devices.size(), [&](std::size_t i, std::size_t slot) {
+    accuracies[i] = ctx.network->accuracy(models[devices[i]], test.x,
+                                          std::span<const std::int32_t>(test.y),
+                                          workspaces[slot]);
+  });
   double total = 0.0;
-#pragma omp parallel reduction(+ : total)
-  {
-    nn::Workspace ws;
-#pragma omp for schedule(dynamic)
-    for (std::size_t i = 0; i < devices.size(); ++i) {
-      total += ctx.network->accuracy(models[devices[i]], test.x,
-                                     std::span<const std::int32_t>(test.y), ws);
-    }
-  }
+  for (const auto accuracy : accuracies) total += accuracy;
   return static_cast<float>(total / static_cast<double>(devices.size()));
 }
 }  // namespace
@@ -66,21 +68,19 @@ std::string DecentralHomogeneous::name() const {
 
 void DecentralHomogeneous::run_round() {
   const std::size_t n = ctx_.device_count();
-  const int n_threads = omp_get_max_threads();
-  std::vector<TrainScratch> scratch(static_cast<std::size_t>(n_threads));
+  auto& pool = ParallelExecutor::global();
+  std::vector<TrainScratch> scratch(pool.thread_count());
 
   // (1) Everyone trains one job on its current model.
-#pragma omp parallel for schedule(dynamic)
-  for (std::size_t d = 0; d < n; ++d) {
-    auto& my_scratch = scratch[static_cast<std::size_t>(omp_get_thread_num())];
-    Rng device_rng(ctx_.opts.seed ^ (0xBF58476Dull * (rounds_completed_ + 1)) ^
-                   (0x94D049BBull * (d + 1)));
+  pool.parallel_for(n, [&](std::size_t d, std::size_t slot) {
+    auto& my_scratch = scratch[slot];
+    Rng device_rng = job_stream(0xBF58476Dull, 0x94D049BBull, d, 0);
     UpdateExtras extras;
     extras.momentum = ctx_.opts.momentum;
     train_local(*ctx_.network, device_models_[d], ctx_.fed->shards[d],
                 ctx_.opts.local_epochs, ctx_.opts.batch_size, ctx_.opts.lr,
                 UpdateKind::kSgd, extras, device_rng, my_scratch);
-  }
+  });
 
   // (2) Communication step.
   if (mode_ == DecentralMode::kNoComm) {

@@ -6,6 +6,12 @@
 
 namespace fedhisyn::core {
 
+namespace {
+// Per-algorithm salts for the job Rng streams (see FlAlgorithm::job_stream).
+constexpr std::uint64_t kRoundSalt = 0xA0761D65ull;
+constexpr std::uint64_t kDeviceSalt = 0xE7037ED1ull;
+}  // namespace
+
 FedAsyncAlgo::FedAsyncAlgo(const FlContext& ctx, float staleness_exponent)
     : FlAlgorithm(ctx), staleness_exponent_(staleness_exponent) {
   FEDHISYN_CHECK(staleness_exponent >= 0.0f);
@@ -25,21 +31,15 @@ void FedAsyncAlgo::run_round() {
     working[device] = global_;
     start_version[device] = version_;
     comm_.record_server_download();
-    const double job = sim::local_training_time((*ctx_.fleet)[device], epochs);
-    if (job <= interval) queue.schedule(job, device);
   }
+  auto pretrained = pretrain_first_wave(queue, working, participants, interval, epochs,
+                                        kRoundSalt, kDeviceSalt);
 
   while (!queue.empty()) {
     const sim::Event event = queue.pop();
     const std::size_t device = event.device;
-    Rng device_rng(ctx_.opts.seed ^ (0xA0761D65ull * (rounds_completed_ + 1)) ^
-                   (0xE7037ED1ull * (device + 1)) ^
-                   static_cast<std::uint64_t>(event.sequence));
-    UpdateExtras extras;
-    extras.momentum = ctx_.opts.momentum;
-    train_local(*ctx_.network, working[device], ctx_.fed->shards[device], epochs,
-                ctx_.opts.batch_size, ctx_.opts.lr, UpdateKind::kSgd, extras,
-                device_rng, scratch_);
+    train_event_job(device, static_cast<std::uint64_t>(event.sequence), working, epochs,
+                    kRoundSalt, kDeviceSalt, pretrained);
     comm_.record_server_upload();
 
     // Staleness-damped server mix (FedAsync's polynomial schedule).

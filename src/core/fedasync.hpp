@@ -27,7 +27,6 @@ class FedAsyncAlgo final : public FlAlgorithm {
  private:
   float staleness_exponent_;
   std::int64_t version_ = 0;  // persists across rounds
-  TrainScratch scratch_;
 };
 
 }  // namespace fedhisyn::core

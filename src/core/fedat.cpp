@@ -1,12 +1,11 @@
 #include "core/fedat.hpp"
 
-#include <omp.h>
-
 #include <algorithm>
 #include <numeric>
 
 #include "cluster/kmeans.hpp"
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "core/aggregate.hpp"
 
 namespace fedhisyn::core {
@@ -52,8 +51,8 @@ void FedATAlgo::recombine_global() {
 void FedATAlgo::run_round() {
   if (!tiers_built_) build_tiers();
   const double interval = round_duration();
-  const int n_threads = omp_get_max_threads();
-  std::vector<TrainScratch> scratch(static_cast<std::size_t>(n_threads));
+  auto& pool = ParallelExecutor::global();
+  std::vector<TrainScratch> scratch(pool.thread_count());
 
   // Each tier independently completes floor(interval / tier_round_time)
   // synchronous tier-rounds within the common interval.  Tier rounds are
@@ -71,20 +70,19 @@ void FedATAlgo::run_round() {
       if (active.empty()) continue;
 
       std::vector<std::vector<float>> locals(active.size());
-#pragma omp parallel for schedule(dynamic)
-      for (std::size_t i = 0; i < active.size(); ++i) {
+      pool.parallel_for(active.size(), [&](std::size_t i, std::size_t slot) {
         const std::size_t device = active[i];
-        auto& my_scratch = scratch[static_cast<std::size_t>(omp_get_thread_num())];
-        Rng device_rng(ctx_.opts.seed ^ (0x165667B1ull * (rounds_completed_ + 1)) ^
-                       (0xD3A2646Cull * (device + 1)) ^
-                       (0xFD7046C5ull * static_cast<std::uint64_t>(tr + 1)));
+        auto& my_scratch = scratch[slot];
+        Rng device_rng =
+            job_stream(0x165667B1ull, 0xD3A2646Cull, device,
+                       0xFD7046C5ull * static_cast<std::uint64_t>(tr + 1));
         locals[i] = global_;
         UpdateExtras extras;
         extras.momentum = ctx_.opts.momentum;
         train_local(*ctx_.network, locals[i], ctx_.fed->shards[device],
                     ctx_.opts.local_epochs, ctx_.opts.batch_size, ctx_.opts.lr,
                     UpdateKind::kSgd, extras, device_rng, my_scratch);
-      }
+      });
       for (std::size_t i = 0; i < active.size(); ++i) {
         comm_.record_server_download();
         comm_.record_server_upload();

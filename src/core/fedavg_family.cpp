@@ -1,11 +1,10 @@
 #include "core/fedavg_family.hpp"
 
-#include <omp.h>
-
 #include <algorithm>
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "core/aggregate.hpp"
 
 namespace fedhisyn::core {
@@ -38,15 +37,13 @@ void FedAvgFamily::run_round() {
   // from the same global snapshot.  Determinism: per-device Rng derived from
   // (seed, round, device id), independent of thread schedule.
   std::vector<std::vector<float>> locals(participants.size());
-  const int n_threads = omp_get_max_threads();
-  std::vector<TrainScratch> scratch(static_cast<std::size_t>(n_threads));
+  auto& pool = ParallelExecutor::global();
+  std::vector<TrainScratch> scratch(pool.thread_count());
 
-#pragma omp parallel for schedule(dynamic)
-  for (std::size_t i = 0; i < participants.size(); ++i) {
+  pool.parallel_for(participants.size(), [&](std::size_t i, std::size_t slot) {
     const std::size_t device = participants[i];
-    auto& my_scratch = scratch[static_cast<std::size_t>(omp_get_thread_num())];
-    Rng device_rng(ctx_.opts.seed ^ (0x517CC1B7ull * (rounds_completed_ + 1)) ^
-                   (0x2545F491ull * (device + 1)));
+    auto& my_scratch = scratch[slot];
+    Rng device_rng = job_stream(0x517CC1B7ull, 0x2545F491ull, device, 0);
     locals[i] = global_;
     UpdateExtras extras;
     extras.momentum = ctx_.opts.momentum;
@@ -59,7 +56,7 @@ void FedAvgFamily::run_round() {
     train_local(*ctx_.network, locals[i], ctx_.fed->shards[device],
                 epochs_for_device(device, interval), ctx_.opts.batch_size, ctx_.opts.lr,
                 kind, extras, device_rng, my_scratch);
-  }
+  });
 
   for (std::size_t i = 0; i < participants.size(); ++i) {
     comm_.record_server_download();

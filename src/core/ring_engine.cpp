@@ -1,11 +1,31 @@
 #include "core/ring_engine.hpp"
 
+#include <algorithm>
 #include <deque>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "tensor/ops.hpp"
 
 namespace fedhisyn::core {
+
+namespace {
+
+constexpr std::int64_t kNone = -1;
+
+/// One training job discovered during the symbolic replay.  Node ids: values
+/// 0..n-1 are the devices' initial models, n+j is the output of jobs[j].
+struct TrainJob {
+  std::size_t device = 0;
+  /// Model the job trains: value(input_a) when input_b == kNone, else the
+  /// elementwise mean of the two (the Observation-1 averaging ablation).
+  std::int64_t input_a = kNone;
+  std::int64_t input_b = kNone;
+  /// Wavefront depth: 1 + max depth of the inputs.
+  std::int64_t level = 0;
+};
+
+}  // namespace
 
 RingEngine::RingEngine(const FlContext& ctx) : ctx_(ctx) {}
 
@@ -35,13 +55,26 @@ RingEngineResult RingEngine::run_interval(const std::vector<sim::RingTopology>& 
   result.device_models = std::move(initial_models);
   result.jobs_completed.assign(n, 0);
 
-  // Per-device state: the model currently being trained, and the most
-  // recently received model waiting its turn (Alg. 1's buffer back).
-  std::vector<std::vector<float>> training(n);
-  std::vector<std::optional<std::vector<float>>> pending(n);
-  // Models in flight on links with non-zero delay.  Every device has exactly
+  // ---- Phase 1: symbolic replay of the interval's event timeline. --------
+  // Job durations depend only on the fleet profile, so the full schedule —
+  // which jobs run, which model each one trains, where its output travels —
+  // is known before any training happens.  This replay mirrors the
+  // event-by-event semantics exactly, but moves node ids instead of weights.
+  std::vector<TrainJob> jobs;
+  const auto level_of = [&](std::int64_t node) {
+    return node < static_cast<std::int64_t>(n) ? std::int64_t{0}
+                                               : jobs[node - n].level;
+  };
+
+  // Per-device state: the (input_a, input_b) the next job will train, the
+  // most recently received node awaiting its turn (Alg. 1's buffer back), and
+  // nodes in flight on links with non-zero delay.  Every device has exactly
   // one ring predecessor, so per-receiver FIFO order is preserved.
-  std::vector<std::deque<std::vector<float>>> in_flight(n);
+  std::vector<std::int64_t> next_a(n, kNone);
+  std::vector<std::int64_t> next_b(n, kNone);
+  std::vector<std::int64_t> pending(n, kNone);
+  std::vector<std::deque<std::int64_t>> in_flight(n);
+  std::vector<std::int64_t> last_output(n, kNone);
 
   // Event encoding: id < n -> training completion on device id;
   //                 id >= n -> delivery of the next in-flight model to id-n.
@@ -50,24 +83,9 @@ RingEngineResult RingEngine::run_interval(const std::vector<sim::RingTopology>& 
   const int epochs = ctx_.opts.local_epochs;
   for (const auto device : participants) {
     const double job = sim::local_training_time((*ctx_.fleet)[device], epochs);
-    training[device] = result.device_models[device];
+    next_a[device] = static_cast<std::int64_t>(device);
     if (job <= interval) queue.schedule(job, device);
   }
-
-  auto take_pending = [&](std::size_t device) {
-    if (!pending[device].has_value()) return;
-    if (ctx_.opts.direct_use) {
-      training[device] = std::move(*pending[device]);
-    } else {
-      // Ablation: average the received model with the local one.
-      auto& mine = training[device];
-      const auto& theirs = *pending[device];
-      for (std::size_t i = 0; i < mine.size(); ++i) {
-        mine[i] = 0.5f * (mine[i] + theirs[i]);
-      }
-    }
-    pending[device].reset();
-  };
 
   while (!queue.empty()) {
     const sim::Event event = queue.pop();
@@ -79,21 +97,24 @@ RingEngineResult RingEngine::run_interval(const std::vector<sim::RingTopology>& 
       // Alg. 1 always trains the most recent).
       const std::size_t device = event.device - n;
       FEDHISYN_CHECK(!in_flight[device].empty());
-      pending[device] = std::move(in_flight[device].front());
+      pending[device] = in_flight[device].front();
       in_flight[device].pop_front();
       continue;
     }
 
     const std::size_t device = event.device;
-    // The job scheduled for `device` just finished: train the model it was
-    // working on.  (Training is performed lazily at completion time; the
-    // result is identical because jobs never observe mid-flight state.)
-    UpdateExtras extras;
-    extras.momentum = ctx_.opts.momentum;
-    train_local(*ctx_.network, std::span<float>(training[device]),
-                ctx_.fed->shards[device], epochs, ctx_.opts.batch_size, ctx_.opts.lr,
-                UpdateKind::kSgd, extras, rng, scratch_);
-    result.device_models[device] = training[device];
+    // The job scheduled for `device` just finished: record it as a DAG node.
+    TrainJob job_node;
+    job_node.device = device;
+    job_node.input_a = next_a[device];
+    job_node.input_b = next_b[device];
+    job_node.level = 1 + std::max(level_of(job_node.input_a),
+                                  job_node.input_b == kNone
+                                      ? std::int64_t{0}
+                                      : level_of(job_node.input_b));
+    const auto output = static_cast<std::int64_t>(n + jobs.size());
+    jobs.push_back(job_node);
+    last_output[device] = output;
     ++result.jobs_completed[device];
 
     // Forward to the ring successor (skip self-loops in 1-device rings).
@@ -105,10 +126,10 @@ RingEngineResult RingEngine::run_interval(const std::vector<sim::RingTopology>& 
     if (next != device) {
       const double delay = (*ctx_.fleet)[device].link_delay;
       if (delay <= 0.0) {
-        pending[next] = training[device];
+        pending[next] = output;
         ++result.hops;
       } else if (now + delay <= interval) {
-        in_flight[next].push_back(training[device]);
+        in_flight[next].push_back(output);
         queue.schedule(now + delay, n + next);
         ++result.hops;
       }
@@ -116,12 +137,145 @@ RingEngineResult RingEngine::run_interval(const std::vector<sim::RingTopology>& 
 
     // Pick the next model to train: most recently received, else continue
     // refining the current one (Eq. (7)).
-    take_pending(device);
+    if (pending[device] != kNone) {
+      if (ctx_.opts.direct_use) {
+        next_a[device] = pending[device];
+        next_b[device] = kNone;
+      } else {
+        next_a[device] = output;
+        next_b[device] = pending[device];
+      }
+      pending[device] = kNone;
+    } else {
+      next_a[device] = output;
+      next_b[device] = kNone;
+    }
 
     const double job = sim::local_training_time((*ctx_.fleet)[device], epochs);
     if (now + job <= interval) queue.schedule(now + job, device);
   }
 
+  // The per-job stream base is drawn unconditionally so the caller's rng
+  // position stays the same whether or not any job fit the interval.
+  const std::uint64_t stream_base = rng.next_u64();
+  if (jobs.empty()) return result;
+
+  // ---- Phase 2: execute the DAG wavefront by wavefront. ------------------
+  // Jobs in one level have no edges between them, so each level is one
+  // parallel_for.  A job's Rng stream is derived from (caller rng, event
+  // order), never from thread identity, so any thread count produces
+  // bit-identical weights.
+  // Liveness: a job's output is read only by its consumers and, for each
+  // device, the final output kept in the result.  Direct-use overwrites and
+  // pending-slot overwrites orphan some outputs (a fast sender flooding a
+  // slow successor), and those trainings are unobservable — jobs_completed
+  // and hops were already counted in Phase 1 — so prune them.  Inputs always
+  // have smaller node ids than consumers, making one reverse sweep enough.
+  std::vector<std::uint8_t> live(n + jobs.size(), 0);
+  for (std::size_t d = 0; d < n; ++d) {
+    if (last_output[d] != kNone) live[static_cast<std::size_t>(last_output[d])] = 1;
+  }
+  for (std::size_t j = jobs.size(); j-- > 0;) {
+    if (!live[n + j]) continue;
+    live[static_cast<std::size_t>(jobs[j].input_a)] = 1;
+    if (jobs[j].input_b != kNone) live[static_cast<std::size_t>(jobs[j].input_b)] = 1;
+  }
+
+  std::vector<std::vector<std::size_t>> by_level;
+  // A node's value may be *moved* into its consumer instead of copied when
+  // exactly one live consumer sits at the node's final-use level (every
+  // other consumer then ran in an earlier wave) and the node is not a
+  // device's final model.  This restores the serial code's train-in-place
+  // economy for self-refinement chains and the initial broadcast.
+  struct FinalUse {
+    std::int64_t level = -1;
+    std::int64_t job = kNone;  // sole consumer at `level`, kNone on a tie
+  };
+  std::vector<FinalUse> final_use(n + jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    if (!live[n + j]) continue;
+    const auto& job = jobs[j];
+    if (static_cast<std::size_t>(job.level) >= by_level.size() + 1) {
+      by_level.resize(static_cast<std::size_t>(job.level));
+    }
+    by_level[static_cast<std::size_t>(job.level - 1)].push_back(j);
+    for (const auto input : {job.input_a, job.input_b}) {
+      if (input == kNone) continue;
+      auto& use = final_use[static_cast<std::size_t>(input)];
+      if (job.level > use.level) {
+        use.level = job.level;
+        use.job = static_cast<std::int64_t>(j);
+      } else if (job.level == use.level) {
+        use.job = kNone;
+      }
+    }
+  }
+
+  std::vector<std::vector<float>> outputs(jobs.size());
+  const auto value_of = [&](std::int64_t node) -> std::vector<float>& {
+    return node < static_cast<std::int64_t>(n) ? result.device_models[node]
+                                               : outputs[node - n];
+  };
+  const auto movable_into = [&](std::int64_t node, std::size_t consumer) {
+    if (final_use[static_cast<std::size_t>(node)].job !=
+        static_cast<std::int64_t>(consumer)) {
+      return false;
+    }
+    // A device's final model must survive for the result.
+    const std::size_t device = node < static_cast<std::int64_t>(n)
+                                   ? static_cast<std::size_t>(node)
+                                   : jobs[node - n].device;
+    return last_output[device] != node;
+  };
+
+  auto& pool = ParallelExecutor::global();
+  std::vector<TrainScratch> scratch(pool.thread_count());
+  for (std::size_t level = 0; level < by_level.size(); ++level) {
+    const auto& wave = by_level[level];
+    pool.parallel_for(wave.size(), [&](std::size_t w, std::size_t slot) {
+      const std::size_t j = wave[w];
+      const auto& job = jobs[j];
+      auto& model = outputs[j];
+      if (movable_into(job.input_a, j)) {
+        model = std::move(value_of(job.input_a));
+      } else {
+        model = value_of(job.input_a);
+      }
+      if (job.input_b != kNone) {
+        const auto& theirs = value_of(job.input_b);
+        for (std::size_t i = 0; i < model.size(); ++i) {
+          model[i] = 0.5f * (model[i] + theirs[i]);
+        }
+      }
+      Rng job_rng(stream_base ^ (0x9E3779B97F4A7C15ull * (j + 1)));
+      UpdateExtras extras;
+      extras.momentum = ctx_.opts.momentum;
+      train_local(*ctx_.network, std::span<float>(model), ctx_.fed->shards[job.device],
+                  epochs, ctx_.opts.batch_size, ctx_.opts.lr, UpdateKind::kSgd, extras,
+                  job_rng, scratch[slot]);
+    });
+    // Free intermediate outputs whose consumers have all executed (their
+    // final consumer level is the wave that just ran); initial models live in
+    // result.device_models and final per-device models stay live for the
+    // result.
+    for (const auto j : wave) {
+      for (const auto input : {jobs[j].input_a, jobs[j].input_b}) {
+        if (input < static_cast<std::int64_t>(n)) continue;
+        const auto producer = static_cast<std::size_t>(input - n);
+        if (final_use[static_cast<std::size_t>(input)].level ==
+                static_cast<std::int64_t>(level + 1) &&
+            last_output[jobs[producer].device] != input) {
+          outputs[producer] = {};
+        }
+      }
+    }
+  }
+
+  for (std::size_t d = 0; d < n; ++d) {
+    if (last_output[d] != kNone) {
+      result.device_models[d] = std::move(outputs[static_cast<std::size_t>(last_output[d] - n)]);
+    }
+  }
   return result;
 }
 

@@ -7,6 +7,15 @@
 // training the most recently received model (or keeps refining its own if
 // nothing arrived — Eq. (7)).  Jobs that would overrun R are not started.
 //
+// Execution is parallel and deterministic.  Virtual-time job durations depend
+// only on the fleet profile, never on training output, so the engine first
+// replays the event timeline symbolically — producing a DAG of training jobs
+// whose edges are "device continues its own model" and "model forwarded along
+// the ring" — and then executes the DAG level by level on the ParallelExecutor
+// pool.  Each job draws from its own seeded Rng stream (derived from the
+// caller's rng and the job's event order), so results are bit-identical for
+// any thread count.
+//
 // Used by FedHiSynAlgo (with server aggregation on top) and by the
 // decentralised modes behind Figs. 3 and 4 (no server).
 #pragma once
@@ -42,6 +51,8 @@ class RingEngine {
   /// read).  `participants` must be the union of all ring members.
   /// When `direct_use` is false, a received model is first averaged with the
   /// device's own latest model before training (the Observation-1 ablation).
+  /// Consumes exactly one draw from `rng` (the base of the per-job streams),
+  /// regardless of how many jobs run.
   RingEngineResult run_interval(const std::vector<sim::RingTopology>& rings,
                                 const std::vector<std::size_t>& participants,
                                 std::vector<std::vector<float>> initial_models,
@@ -49,7 +60,6 @@ class RingEngine {
 
  private:
   const FlContext& ctx_;
-  TrainScratch scratch_;
 };
 
 }  // namespace fedhisyn::core

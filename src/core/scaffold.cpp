@@ -1,10 +1,9 @@
 #include "core/scaffold.hpp"
 
-#include <omp.h>
-
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "core/aggregate.hpp"
 #include "tensor/ops.hpp"
 
@@ -23,15 +22,15 @@ void ScaffoldAlgo::run_round() {
 
   std::vector<std::vector<float>> locals(participants.size());
   std::vector<std::vector<float>> c_deltas(participants.size());
-  const int n_threads = omp_get_max_threads();
-  std::vector<TrainScratch> scratch(static_cast<std::size_t>(n_threads));
+  auto& pool = ParallelExecutor::global();
+  std::vector<TrainScratch> scratch(pool.thread_count());
 
-#pragma omp parallel for schedule(dynamic)
-  for (std::size_t i = 0; i < participants.size(); ++i) {
+  // Participants never share a device within one round (drawn without
+  // replacement), so the c_local_[device] refresh below is race-free.
+  pool.parallel_for(participants.size(), [&](std::size_t i, std::size_t slot) {
     const std::size_t device = participants[i];
-    auto& my_scratch = scratch[static_cast<std::size_t>(omp_get_thread_num())];
-    Rng device_rng(ctx_.opts.seed ^ (0x9E3779B9ull * (rounds_completed_ + 1)) ^
-                   (0x85EBCA6Bull * (device + 1)));
+    auto& my_scratch = scratch[slot];
+    Rng device_rng = job_stream(0x9E3779B9ull, 0x85EBCA6Bull, device, 0);
     locals[i] = global_;
 
     // SCAFFOLD uses the maximum achievable epochs, like FedAvg in the paper.
@@ -55,7 +54,7 @@ void ScaffoldAlgo::run_round() {
       c_deltas[i][j] = ci_plus - ci[j];
       ci[j] = ci_plus;
     }
-  }
+  });
 
   // Each direction carries model + control variate: 2 units down, 2 up.
   for (std::size_t i = 0; i < participants.size(); ++i) {

@@ -5,6 +5,12 @@
 
 namespace fedhisyn::core {
 
+namespace {
+// Per-algorithm salts for the job Rng streams (see FlAlgorithm::job_stream).
+constexpr std::uint64_t kRoundSalt = 0xC2B2AE35ull;
+constexpr std::uint64_t kDeviceSalt = 0x27D4EB2Full;
+}  // namespace
+
 TAFedAvgAlgo::TAFedAvgAlgo(const FlContext& ctx) : FlAlgorithm(ctx) {}
 
 void TAFedAvgAlgo::run_round() {
@@ -15,28 +21,25 @@ void TAFedAvgAlgo::run_round() {
 
   // Event-driven: device completion order defines the server update order,
   // which matters because every upload changes the model the next download
-  // sees.  Training runs serially in event order for determinism.
+  // sees.  The server mix therefore runs serially in event order — but the
+  // first job of every participant trains the same round-start snapshot with
+  // its own Rng stream, so that wave runs on the pool, bit-identical to the
+  // serial order.
   sim::EventQueue queue;
   queue.reset(0.0);
   std::vector<std::vector<float>> working(ctx_.device_count());
   for (const auto device : participants) {
     working[device] = global_;
     comm_.record_server_download();
-    const double job = sim::local_training_time((*ctx_.fleet)[device], epochs);
-    if (job <= interval) queue.schedule(job, device);
   }
+  auto pretrained = pretrain_first_wave(queue, working, participants, interval, epochs,
+                                        kRoundSalt, kDeviceSalt);
 
   while (!queue.empty()) {
     const sim::Event event = queue.pop();
     const std::size_t device = event.device;
-    Rng device_rng(ctx_.opts.seed ^ (0xC2B2AE35ull * (rounds_completed_ + 1)) ^
-                   (0x27D4EB2Full * (device + 1)) ^
-                   static_cast<std::uint64_t>(event.sequence));
-    UpdateExtras extras;
-    extras.momentum = ctx_.opts.momentum;
-    train_local(*ctx_.network, working[device], ctx_.fed->shards[device], epochs,
-                ctx_.opts.batch_size, ctx_.opts.lr, UpdateKind::kSgd, extras,
-                device_rng, scratch_);
+    train_event_job(device, static_cast<std::uint64_t>(event.sequence), working, epochs,
+                    kRoundSalt, kDeviceSalt, pretrained);
     // Upload and asynchronous server mix.
     comm_.record_server_upload();
     for (std::size_t j = 0; j < global_.size(); ++j) {

@@ -21,9 +21,6 @@ class TAFedAvgAlgo final : public FlAlgorithm {
 
   std::string name() const override { return "TAFedAvg"; }
   void run_round() override;
-
- private:
-  TrainScratch scratch_;
 };
 
 }  // namespace fedhisyn::core

@@ -29,7 +29,7 @@ TrainOutcome train_local(const nn::Network& network, std::span<float> weights,
   }
   // Always reset to the identity permutation: results must depend only on
   // (weights, shard, rng), never on what a reused scratch trained before —
-  // otherwise OpenMP thread-to-device mappings would leak into the output.
+  // otherwise pool slot-to-device mappings would leak into the output.
   scratch.order.resize(static_cast<std::size_t>(shard.size()));
   for (std::size_t i = 0; i < scratch.order.size(); ++i) {
     scratch.order[i] = static_cast<std::int64_t>(i);

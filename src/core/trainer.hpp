@@ -1,7 +1,7 @@
 // Local (on-device) training: mini-batch SGD with the plain, proximal
 // (FedProx) and control-variate (SCAFFOLD) update rules.  One TrainScratch
 // per concurrent caller; algorithms running devices in parallel allocate one
-// scratch per OpenMP thread.
+// scratch per ParallelExecutor slot.
 #pragma once
 
 #include <cstdint>

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
 
@@ -64,23 +65,23 @@ void Conv2d::forward(const Shape3& in, std::span<const float> params, const Tens
   const auto bias = params.subspan(static_cast<std::size_t>(out_channels_ * col_rows),
                                    static_cast<std::size_t>(out_channels_));
 
-#pragma omp parallel
-  {
-    std::vector<float> columns(static_cast<std::size_t>(col_rows * col_cols));
-#pragma omp for schedule(static)
-    for (std::int64_t b = 0; b < batch; ++b) {
-      im2col(x.row(b), g, columns);
-      auto out_row = y.row(b);
-      // out[oc, pix] = filters[oc, :] * columns[:, pix]
-      gemm(filters, std::span<const float>(columns), out_row, out_channels_, col_rows,
-           col_cols);
-      for (std::int64_t oc = 0; oc < out_channels_; ++oc) {
-        float* plane = out_row.data() + oc * col_cols;
-        const float bv = bias[static_cast<std::size_t>(oc)];
-        for (std::int64_t p = 0; p < col_cols; ++p) plane[p] += bv;
-      }
+  auto& pool = ParallelExecutor::global();
+  std::vector<std::vector<float>> columns(pool.thread_count());
+  pool.parallel_for(static_cast<std::size_t>(batch), [&](std::size_t bi, std::size_t slot) {
+    const auto b = static_cast<std::int64_t>(bi);
+    auto& my_columns = columns[slot];
+    my_columns.resize(static_cast<std::size_t>(col_rows * col_cols));
+    im2col(x.row(b), g, my_columns);
+    auto out_row = y.row(b);
+    // out[oc, pix] = filters[oc, :] * columns[:, pix]
+    gemm(filters, std::span<const float>(my_columns), out_row, out_channels_, col_rows,
+         col_cols);
+    for (std::int64_t oc = 0; oc < out_channels_; ++oc) {
+      float* plane = out_row.data() + oc * col_cols;
+      const float bv = bias[static_cast<std::size_t>(oc)];
+      for (std::int64_t p = 0; p < col_cols; ++p) plane[p] += bv;
     }
-  }
+  });
 }
 
 void Conv2d::backward(const Shape3& in, std::span<const float> params, const Tensor& x,

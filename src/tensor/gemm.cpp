@@ -1,13 +1,28 @@
 #include "tensor/gemm.hpp"
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 
 namespace fedhisyn {
 
 namespace {
-// Rows below this skip the OpenMP dispatch: the models here are small and
-// two-core parallelism only pays off for real batches.
+// Rows below this skip the pool dispatch: the models here are small and
+// parallelism only pays off for real batches.
 constexpr std::int64_t kParallelRowThreshold = 16;
+
+/// Run `body(i)` for every output row.  Rows write disjoint slices of C, so
+/// the result is bit-identical for any thread count.  Inside an outer
+/// parallel region (per-device training) the pool runs this inline.
+template <typename RowBody>
+void for_each_row(std::int64_t m, const RowBody& body) {
+  if (m >= kParallelRowThreshold && !ParallelExecutor::in_parallel_region()) {
+    ParallelExecutor::global().parallel_for(
+        static_cast<std::size_t>(m),
+        [&](std::size_t i, std::size_t) { body(static_cast<std::int64_t>(i)); });
+  } else {
+    for (std::int64_t i = 0; i < m; ++i) body(i);
+  }
+}
 }  // namespace
 
 void gemm(std::span<const float> a, std::span<const float> b, std::span<float> c,
@@ -15,8 +30,7 @@ void gemm(std::span<const float> a, std::span<const float> b, std::span<float> c
   FEDHISYN_CHECK(static_cast<std::int64_t>(a.size()) >= m * k);
   FEDHISYN_CHECK(static_cast<std::int64_t>(b.size()) >= k * n);
   FEDHISYN_CHECK(static_cast<std::int64_t>(c.size()) >= m * n);
-#pragma omp parallel for schedule(static) if (m >= kParallelRowThreshold)
-  for (std::int64_t i = 0; i < m; ++i) {
+  for_each_row(m, [&](std::int64_t i) {
     float* ci = c.data() + i * n;
     if (beta == 0.0f) {
       for (std::int64_t j = 0; j < n; ++j) ci[j] = 0.0f;
@@ -30,7 +44,7 @@ void gemm(std::span<const float> a, std::span<const float> b, std::span<float> c
       const float* bp = b.data() + p * n;
       for (std::int64_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
     }
-  }
+  });
 }
 
 void gemm_nt(std::span<const float> a, std::span<const float> b, std::span<float> c,
@@ -38,8 +52,7 @@ void gemm_nt(std::span<const float> a, std::span<const float> b, std::span<float
   FEDHISYN_CHECK(static_cast<std::int64_t>(a.size()) >= m * k);
   FEDHISYN_CHECK(static_cast<std::int64_t>(b.size()) >= n * k);
   FEDHISYN_CHECK(static_cast<std::int64_t>(c.size()) >= m * n);
-#pragma omp parallel for schedule(static) if (m >= kParallelRowThreshold)
-  for (std::int64_t i = 0; i < m; ++i) {
+  for_each_row(m, [&](std::int64_t i) {
     const float* ai = a.data() + i * k;
     float* ci = c.data() + i * n;
     for (std::int64_t j = 0; j < n; ++j) {
@@ -48,7 +61,7 @@ void gemm_nt(std::span<const float> a, std::span<const float> b, std::span<float
       for (std::int64_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
       ci[j] = (beta == 0.0f ? 0.0f : beta * ci[j]) + acc;
     }
-  }
+  });
 }
 
 void gemm_tn(std::span<const float> a, std::span<const float> b, std::span<float> c,
@@ -58,8 +71,7 @@ void gemm_tn(std::span<const float> a, std::span<const float> b, std::span<float
   FEDHISYN_CHECK(static_cast<std::int64_t>(c.size()) >= m * n);
   // C[i,j] = sum_p A[p,i] * B[p,j].  Parallelise over C rows; each thread
   // walks A and B column-wise but rows of C are independent.
-#pragma omp parallel for schedule(static) if (m >= kParallelRowThreshold)
-  for (std::int64_t i = 0; i < m; ++i) {
+  for_each_row(m, [&](std::int64_t i) {
     float* ci = c.data() + i * n;
     if (beta == 0.0f) {
       for (std::int64_t j = 0; j < n; ++j) ci[j] = 0.0f;
@@ -72,7 +84,7 @@ void gemm_tn(std::span<const float> a, std::span<const float> b, std::span<float
       const float* bp = b.data() + p * n;
       for (std::int64_t j = 0; j < n; ++j) ci[j] += api * bp[j];
     }
-  }
+  });
 }
 
 }  // namespace fedhisyn

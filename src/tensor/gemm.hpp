@@ -1,6 +1,7 @@
 // Single-precision GEMM kernels used by the dense and convolution layers.
 //
-// C (MxN) += / = op(A) * op(B).  Row-major, OpenMP-parallel over output rows,
+// C (MxN) += / = op(A) * op(B).  Row-major, parallelised over output rows on
+// the ParallelExecutor pool (inline when already inside a parallel region),
 // blocked over K for cache locality.  Not a BLAS replacement — sized for the
 // small models the FL simulation trains — but kernels are verified against a
 // naive reference in tests/tensor_test.cpp.

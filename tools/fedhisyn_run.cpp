@@ -16,6 +16,7 @@
 //   --clusters K          number of k-means classes             [10]
 //   --lr X / --epochs N / --batch N                             [0.1 / 5 / 50]
 //   --momentum X          heavy-ball momentum for local SGD     [0]
+//   --threads N           worker-pool size (also: FEDHISYN_THREADS env)
 //   --ring-order NAME     small-to-large|large-to-small|random  [small-to-large]
 //   --aggregation NAME    uniform|time|sample                   [uniform]
 //   --heterogeneity H     use an exact-ratio fleet instead of the
@@ -32,6 +33,7 @@
 #include "common/check.hpp"
 #include "common/env.hpp"
 #include "common/flags.hpp"
+#include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "core/factory.hpp"
 #include "core/presets.hpp"
@@ -74,6 +76,14 @@ int main(int argc, char** argv) {
 
 int run_experiment(const fedhisyn::Flags& flags) {
   using namespace fedhisyn;
+
+  if (flags.has("threads")) {
+    const long threads = flags.get_long("threads", 0);
+    // Non-positive (or unparseable) values fall back to a single worker
+    // rather than wrapping through size_t.
+    ParallelExecutor::global().set_thread_count(
+        threads > 0 ? static_cast<std::size_t>(threads) : 1);
+  }
 
   core::BuildConfig config;
   config.dataset = flags.get("dataset", "mnist");
