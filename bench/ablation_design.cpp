@@ -30,7 +30,7 @@ int main() {
 
   auto run_variant = [&](const char* label, core::FlOptions opts, Table& table) {
     opts.seed = 81;
-    core::FedHiSynAlgo algorithm(experiment.context(opts));
+    core::FedHiSynAlgo algorithm(experiment->context(opts));
     core::ExperimentRunner runner(config.scale.rounds, target);
     runner.set_eval_every(5);
     const auto result = runner.run(algorithm);

@@ -48,7 +48,7 @@ int main() {
     std::vector<std::unique_ptr<core::DecentralHomogeneous>> algorithms;
     for (const auto mode : kModes) {
       algorithms.push_back(std::make_unique<core::DecentralHomogeneous>(
-          experiment.context(opts), mode));
+          experiment->context(opts), mode));
     }
 
     std::vector<std::string> header = {"round"};

@@ -47,7 +47,7 @@ int main() {
       opts.clusters = 1;  // one ring over every device
       opts.ring_order = order;
       algorithms.push_back(
-          std::make_unique<core::DecentralRing>(experiment.context(opts)));
+          std::make_unique<core::DecentralRing>(experiment->context(opts)));
     }
 
     std::vector<std::string> header = {"round"};

@@ -44,7 +44,7 @@ int main() {
       opts.seed = 41;
       opts.clusters = k;
       algorithms.push_back(
-          std::make_unique<core::DecentralRing>(experiment.context(opts)));
+          std::make_unique<core::DecentralRing>(experiment->context(opts)));
     }
 
     std::vector<std::string> header = {"round"};

@@ -80,7 +80,7 @@ void BM_FedHiSynRound(benchmark::State& state) {
   const auto experiment = core::build_experiment(round_bench_config());
   core::FlOptions opts;
   opts.clusters = 4;
-  core::FedHiSynAlgo algorithm(experiment.context(opts));
+  core::FedHiSynAlgo algorithm(experiment->context(opts));
   for (auto _ : state) {
     algorithm.run_round();
   }
@@ -102,7 +102,7 @@ void BM_RoundThroughput(benchmark::State& state, const char* method) {
   core::FlOptions opts;
   opts.clusters = 4;
   opts.local_epochs = 2;
-  auto algorithm = core::make_algorithm(method, experiment.context(opts));
+  auto algorithm = core::make_algorithm(method, experiment->context(opts));
   for (auto _ : state) {
     algorithm->run_round();
   }

@@ -8,98 +8,106 @@
 // accuracy, with the final accuracy in parentheses.  "X(acc)" marks runs
 // that never reach the target — exactly the paper's cell format.
 //
-// Knobs:
-//   FEDHISYN_FULL=1            paper-scale (100 devices, 100/150 rounds)
-//   FEDHISYN_TABLE1_PART=100   run a single participation level (100|50|10)
-//   FEDHISYN_TABLE1_DATASET=cifar10   run a single dataset
+// The sweep is a declarative ExperimentGrid fanned out by GridScheduler:
+//   --grid-jobs N     run N cells concurrently (FEDHISYN_GRID_JOBS fallback;
+//                     results are byte-identical to a serial run)
+//   --threads N       total worker-thread budget (FEDHISYN_THREADS fallback)
+//   --out PATH        per-cell results as JSONL (or CSV with *.csv)
+//   --part 100,50     restrict participation %  (FEDHISYN_TABLE1_PART)
+//   --dataset a,b     restrict datasets         (FEDHISYN_TABLE1_DATASET)
+//   --partition x,y   restrict partitions: iid | dir<beta>
+//   --list-methods    print the registered algorithms and exit
+//   FEDHISYN_FULL=1   paper-scale (100 devices, 100/150 rounds)
 //
 // Expected shape (paper): FedHiSyn needs the fewest normalised rounds in
 // every setting and the gap widens with more Non-IID data, lower
 // participation, and harder tasks; SCAFFOLD is the strongest baseline.
+#include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "common/env.hpp"
+#include "common/flags.hpp"
 #include "common/table.hpp"
 #include "core/factory.hpp"
-#include "core/presets.hpp"
-#include "core/runner.hpp"
+#include "exp/driver.hpp"
+#include "exp/grid.hpp"
+#include "exp/scheduler.hpp"
+#include "exp/sinks.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fedhisyn;
+  const auto flags = Flags::parse(argc - 1, argv + 1);
+  const auto grid_options = exp::handle_grid_flags(flags);
   const bool full = full_scale_enabled();
 
-  const char* part_env = std::getenv("FEDHISYN_TABLE1_PART");
-  std::vector<double> participations = {1.0, 0.5, 0.1};
-  if (part_env != nullptr) {
-    participations = {std::atof(part_env) / 100.0};
-  }
-  const char* dataset_env = std::getenv("FEDHISYN_TABLE1_DATASET");
-  std::vector<std::string> datasets = {"mnist", "emnist", "cifar10", "cifar100"};
-  if (dataset_env != nullptr) datasets = {dataset_env};
-
-  struct Partition {
-    const char* label;
-    bool iid;
-    double beta;
-  };
-  const Partition partitions[] = {
-      {"IID", true, 0.0}, {"Dirichlet(0.8)", false, 0.8}, {"Dirichlet(0.3)", false, 0.3}};
-
-  std::vector<std::string> header = {"particip", "partition", "dataset"};
-  for (const auto& method : core::table1_methods()) header.push_back(method);
-  Table table(header);
-
-  for (const double participation : participations) {
-    for (const auto& partition : partitions) {
-      for (const auto& dataset : datasets) {
-        core::BuildConfig config;
-        config.dataset = dataset;
-        config.scale = core::default_scale(dataset, full);
-        config.partition.iid = partition.iid;
-        config.partition.beta = partition.beta;
-        config.fleet_kind = core::FleetKind::kUniformEpochs;
+  const auto& methods = core::table1_methods();
+  exp::ExperimentGrid grid;
+  grid.base().with_seed(101);
+  grid.participations(exp::participations_from_flags(flags, {1.0, 0.5, 0.1}))
+      .partitions(exp::partitions_from_flags(
+          flags, {{true, 0.0}, {false, 0.8}, {false, 0.3}}))
+      .datasets(exp::datasets_from_flags(
+          flags, {"mnist", "emnist", "cifar10", "cifar100"}))
+      .methods(methods)
+      .auto_scale(full)
+      .override_each([full](exp::ExperimentSpec& spec) {
         // Paper-scale runs use the paper's CNN on the image suites.
-        config.use_cnn = full && (dataset == "cifar10" || dataset == "cifar100");
-        config.seed = 101;
-        const auto experiment = core::build_experiment(config);
-
-        core::FlOptions opts;
-        opts.seed = 101;
-        opts.participation = participation;
+        spec.build.use_cnn = full && (spec.build.dataset == "cifar10" ||
+                                      spec.build.dataset == "cifar100");
         // Paper: K=10 at 50/100% participation, K=2 at 10%.  Scale with the
         // reduced fleet in default mode: at 10% of 20 devices only ~2
         // participants show up, so K must be 1 for any ring to exist.
-        if (participation <= 0.11) {
-          opts.clusters = full ? 2 : 1;
+        if (spec.opts.participation <= 0.11) {
+          spec.opts.clusters = full ? 2 : 1;
         } else {
-          opts.clusters = full ? 10 : 5;
+          spec.opts.clusters = full ? 10 : 5;
         }
+        spec.eval_every = full ? 2 : 3;
+      });
+  const auto specs = grid.expand();
 
-        std::vector<std::string> row = {
-            Table::fmt_pct(participation, 0), partition.label, dataset};
-        const float target = core::target_accuracy(dataset);
-        for (const auto& method : core::table1_methods()) {
-          auto algorithm = core::make_algorithm(method, experiment.context(opts));
-          core::ExperimentRunner runner(config.scale.rounds, target);
-          runner.set_eval_every(full ? 2 : 3);
-          const auto result = runner.run(*algorithm);
-          row.push_back(result.table_cell());
-        }
-        table.add_row(std::move(row));
-        std::printf(".");
-        std::fflush(stdout);
-      }
-    }
-  }
+  exp::GridScheduler::Options options;
+  options.jobs = grid_options.grid_jobs;
+  options.on_cell = [](std::size_t, std::size_t, const exp::CellResult&) {
+    std::printf(".");
+    std::fflush(stdout);
+  };
+  const exp::GridScheduler scheduler(options);
+  const auto start = std::chrono::steady_clock::now();
+  const auto cells = scheduler.run(specs);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
   std::printf("\n== Table 1: normalised models-to-target (final accuracy) ==\n");
   std::printf("targets: mnist %.0f%%, emnist %.0f%%, cifar10 %.0f%%, cifar100 %.0f%%\n",
               core::target_accuracy("mnist") * 100, core::target_accuracy("emnist") * 100,
               core::target_accuracy("cifar10") * 100,
               core::target_accuracy("cifar100") * 100);
+  std::vector<std::string> header = {"particip", "partition", "dataset"};
+  for (const auto& method : methods) header.push_back(method);
+  Table table(header);
+  // The method axis is innermost, so each table row is one contiguous chunk
+  // of methods.size() cells.
+  for (std::size_t row_start = 0; row_start + methods.size() <= cells.size();
+       row_start += methods.size()) {
+    const auto& spec = cells[row_start].spec;
+    std::vector<std::string> row = {Table::fmt_pct(spec.opts.participation, 0),
+                                    spec.partition_label(), spec.build.dataset};
+    for (std::size_t m = 0; m < methods.size(); ++m) {
+      row.push_back(cells[row_start + m].result.table_cell());
+    }
+    table.add_row(std::move(row));
+  }
   table.print();
   table.maybe_write_csv("table1");
+  std::printf("grid: %zu cells, %zu jobs x %zu threads, %.1fs wall\n", cells.size(),
+              scheduler.resolved_jobs(cells.size()),
+              scheduler.inner_threads(scheduler.resolved_jobs(cells.size())), elapsed);
+  if (!grid_options.out.empty()) {
+    exp::write_results(grid_options.out, cells);
+    std::printf("results written to %s\n", grid_options.out.c_str());
+  }
   return 0;
 }

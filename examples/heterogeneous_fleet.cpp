@@ -62,7 +62,7 @@ int main() {
   core::FlOptions opts;
   opts.clusters = 4;
   opts.seed = 3;
-  core::FedHiSynAlgo algorithm(experiment.context(opts));
+  core::FedHiSynAlgo algorithm(experiment->context(opts));
 
   Table table({"round", "classes", "ring hops", "min jobs", "max jobs", "test acc"});
   for (int round = 1; round <= 3; ++round) {

@@ -3,66 +3,65 @@
 // heterogeneous fleet — printing a leaderboard with the paper's metric
 // (normalised models-to-target) plus final accuracy.
 //
-// Run: ./build/examples/noniid_showdown   (FEDHISYN_FULL=1 for paper scale)
+// The seven runs are one ExperimentGrid over the method axis: pass
+// --grid-jobs 4 to race the methods concurrently (the leaderboard is
+// byte-identical to the serial sweep).
+//
+// Run: ./build/example_noniid_showdown   (FEDHISYN_FULL=1 for paper scale)
 #include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "common/env.hpp"
+#include "common/flags.hpp"
 #include "common/table.hpp"
 #include "core/factory.hpp"
-#include "core/presets.hpp"
-#include "core/runner.hpp"
+#include "exp/driver.hpp"
+#include "exp/grid.hpp"
+#include "exp/scheduler.hpp"
+#include "exp/sinks.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fedhisyn;
+  const auto flags = Flags::parse(argc - 1, argv + 1);
+  const auto grid_options = exp::handle_grid_flags(flags);
   const bool full = full_scale_enabled();
 
-  core::BuildConfig config;
-  config.dataset = "cifar10";
-  config.scale = core::default_scale("cifar10", full);
-  config.partition.iid = false;
-  config.partition.beta = 0.3;
-  config.fleet_kind = core::FleetKind::kUniformEpochs;
-  config.seed = 13;
-  const auto experiment = core::build_experiment(config);
+  exp::ExperimentGrid grid;
+  grid.base().with_seed(13);
+  grid.base().build.partition = {false, 0.3};
+  grid.base().opts.participation = 0.5;
+  grid.base().opts.clusters = full ? 10 : 5;
+  grid.base().eval_every = 2;
+  grid.datasets({"cifar10"}).methods(core::table1_methods()).auto_scale(full);
 
-  core::FlOptions opts;
-  opts.seed = 13;
-  opts.participation = 0.5;
-  opts.clusters = full ? 10 : 5;
-  const float target = core::target_accuracy("cifar10");
-
-  struct Entry {
-    std::string method;
-    core::ExperimentResult result;
-  };
-  std::vector<Entry> entries;
-  for (const auto& method : core::table1_methods()) {
-    std::printf("running %s...\n", method.c_str());
+  exp::GridScheduler::Options options;
+  options.jobs = grid_options.grid_jobs;
+  options.on_cell = [](std::size_t done, std::size_t total, const exp::CellResult& cell) {
+    std::printf("[%zu/%zu] %s done (%.1fs)\n", done, total, cell.spec.method.c_str(),
+                cell.seconds);
     std::fflush(stdout);
-    auto algorithm = core::make_algorithm(method, experiment.context(opts));
-    core::ExperimentRunner runner(config.scale.rounds, target);
-    runner.set_eval_every(2);
-    entries.push_back({method, runner.run(*algorithm)});
-  }
+  };
+  auto cells = exp::GridScheduler(options).run(grid.expand());
+  const float target = cells.front().spec.resolved_target();
 
   // Leaderboard: reached-target first (fewest normalised rounds), then by
   // final accuracy.
-  std::stable_sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
-    const bool ra = a.result.comm_to_target.has_value();
-    const bool rb = b.result.comm_to_target.has_value();
-    if (ra != rb) return ra;
-    if (ra && rb) return *a.result.comm_to_target < *b.result.comm_to_target;
-    return a.result.final_accuracy > b.result.final_accuracy;
-  });
+  std::stable_sort(cells.begin(), cells.end(),
+                   [](const exp::CellResult& a, const exp::CellResult& b) {
+                     const bool ra = a.result.comm_to_target.has_value();
+                     const bool rb = b.result.comm_to_target.has_value();
+                     if (ra != rb) return ra;
+                     if (ra && rb) return *a.result.comm_to_target < *b.result.comm_to_target;
+                     return a.result.final_accuracy > b.result.final_accuracy;
+                   });
 
   std::printf("\n== cifar10-like, Dirichlet(0.3), 50%% participation, target %.0f%% ==\n",
               target * 100.0);
   Table table({"rank", "method", "models-to-target", "final acc", "best acc"});
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    const auto& result = entries[i].result;
-    table.add_row({Table::fmt_i(static_cast<long long>(i + 1)), entries[i].method,
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& result = cells[i].result;
+    table.add_row({Table::fmt_i(static_cast<long long>(i + 1)), cells[i].spec.method,
                    result.comm_to_target.has_value()
                        ? Table::fmt_f(*result.comm_to_target, 1)
                        : "X",
@@ -70,5 +69,9 @@ int main() {
                    Table::fmt_pct(result.best_accuracy)});
   }
   table.print();
+  if (!grid_options.out.empty()) {
+    exp::write_results(grid_options.out, cells);
+    std::printf("results written to %s\n", grid_options.out.c_str());
+  }
   return 0;
 }

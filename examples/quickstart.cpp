@@ -1,59 +1,64 @@
 // Quickstart: train FedHiSyn and FedAvg on the MNIST-like synthetic suite
-// with a heterogeneous 100-device fleet and Non-IID Dirichlet(0.3) data, and
-// print the accuracy/communication trajectory of both.
+// with a heterogeneous fleet and Non-IID Dirichlet(0.3) data, and print the
+// accuracy/communication trajectory of both.
+//
+// The two runs are declared as a one-axis ExperimentGrid — pass
+// --grid-jobs 2 to run both methods concurrently (same numbers, less wall
+// clock), and --out quickstart.jsonl for machine-readable results.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+//   ./build/example_quickstart
 #include <cstdio>
 
 #include "common/env.hpp"
+#include "common/flags.hpp"
 #include "common/table.hpp"
-#include "core/factory.hpp"
-#include "core/presets.hpp"
-#include "core/runner.hpp"
+#include "exp/driver.hpp"
+#include "exp/grid.hpp"
+#include "exp/scheduler.hpp"
+#include "exp/sinks.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fedhisyn;
+  const auto flags = Flags::parse(argc - 1, argv + 1);
+  const auto grid_options = exp::handle_grid_flags(flags);
 
-  // 1. Build the experiment: synthetic MNIST stand-in, Dirichlet(0.3)
-  //    label skew, fleet with 5..50 achievable epochs per round.
-  core::BuildConfig config;
-  config.dataset = "mnist";
-  config.scale = core::default_scale("mnist", full_scale_enabled());
-  config.partition.iid = false;
-  config.partition.beta = 0.3;
-  config.fleet_kind = core::FleetKind::kUniformEpochs;
-  config.seed = 7;
-  const auto experiment = core::build_experiment(config);
+  // 1. Describe the experiment once: synthetic MNIST stand-in, Dirichlet(0.3)
+  //    label skew, fleet with 5..50 achievable epochs per round, the paper's
+  //    §6.1 hyper-parameters (the FlOptions defaults), seed 7.
+  exp::ExperimentGrid grid;
+  grid.base().with_seed(7);
+  grid.base().build.partition = {false, 0.3};
+  grid.base().eval_every = 5;
+  grid.datasets({"mnist"})
+      .methods({"FedHiSyn", "FedAvg"})
+      .auto_scale(full_scale_enabled());
 
-  // 2. Shared hyper-parameters (paper §6.1).
-  core::FlOptions opts;
-  opts.lr = 0.1f;
-  opts.batch_size = 50;
-  opts.local_epochs = 5;
-  opts.participation = 1.0;
-  opts.clusters = 10;
-  opts.seed = 7;
+  // 2. Run the grid (serially by default; --grid-jobs 2 fans it out).
+  const auto cells = exp::GridScheduler({.jobs = grid_options.grid_jobs}).run(grid.expand());
 
-  // 3. Run both methods for the same number of rounds.
-  const float target = core::target_accuracy("mnist");
+  // 3. The per-round trajectory is recorded in each cell's history.
+  const float target = cells.front().spec.resolved_target();
   Table table({"method", "round", "test acc", "comm (FedAvg rounds)"});
-  for (const char* method : {"FedHiSyn", "FedAvg"}) {
-    auto algorithm = core::make_algorithm(method, experiment.context(opts));
-    core::ExperimentRunner runner(config.scale.rounds, target);
-    runner.set_eval_every(5).set_on_round([&](const core::RoundRecord& record) {
-      table.add_row({method, Table::fmt_i(record.round), Table::fmt_pct(record.accuracy),
+  for (const auto& cell : cells) {
+    for (const auto& record : cell.result.history) {
+      table.add_row({cell.spec.method, Table::fmt_i(record.round),
+                     Table::fmt_pct(record.accuracy),
                      Table::fmt_f(record.comm_rounds, 1)});
-    });
-    const auto result = runner.run(*algorithm);
+    }
     std::printf("%s: final %.2f%%, reached %.0f%% target at %s normalised rounds\n",
-                method, result.final_accuracy * 100.0, target * 100.0,
-                result.comm_to_target.has_value()
-                    ? Table::fmt_f(*result.comm_to_target, 1).c_str()
+                cell.spec.method.c_str(), cell.result.final_accuracy * 100.0,
+                target * 100.0,
+                cell.result.comm_to_target.has_value()
+                    ? Table::fmt_f(*cell.result.comm_to_target, 1).c_str()
                     : "X (never)");
   }
   std::printf("\n");
   table.print();
+  if (!grid_options.out.empty()) {
+    exp::write_results(grid_options.out, cells);
+    std::printf("results written to %s\n", grid_options.out.c_str());
+  }
   return 0;
 }

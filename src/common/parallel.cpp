@@ -9,6 +9,7 @@ namespace fedhisyn {
 namespace {
 thread_local bool tl_in_parallel = false;
 thread_local std::size_t tl_slot = 0;
+thread_local ParallelExecutor* tl_current = nullptr;
 }  // namespace
 
 ParallelExecutor::ParallelExecutor(std::size_t threads) {
@@ -156,5 +157,15 @@ ParallelExecutor& ParallelExecutor::global() {
   static ParallelExecutor executor;
   return executor;
 }
+
+ParallelExecutor& ParallelExecutor::current() {
+  return tl_current != nullptr ? *tl_current : global();
+}
+
+ParallelExecutor::Bind::Bind(ParallelExecutor& executor) : previous_(tl_current) {
+  tl_current = &executor;
+}
+
+ParallelExecutor::Bind::~Bind() { tl_current = previous_; }
 
 }  // namespace fedhisyn

@@ -69,6 +69,28 @@ class ParallelExecutor {
   /// The process-wide pool used by the library's kernels and algorithms.
   static ParallelExecutor& global();
 
+  /// The executor the calling thread should dispatch on: the innermost
+  /// Bind on this thread, or global() when none is bound.  Kernels and
+  /// algorithms fan out on current() so a scheduler can give concurrent
+  /// experiment cells private pools (each cell thread binds its own executor
+  /// and the cells never contend for global()'s single job slot).
+  static ParallelExecutor& current();
+
+  /// RAII thread-local override of current() for the calling thread.  Bind
+  /// an executor for the duration of a scope; restores the previous binding
+  /// (or global()) on destruction.  The binding is per-thread: it does not
+  /// propagate to threads spawned inside the scope.
+  class Bind {
+   public:
+    explicit Bind(ParallelExecutor& executor);
+    ~Bind();
+    Bind(const Bind&) = delete;
+    Bind& operator=(const Bind&) = delete;
+
+   private:
+    ParallelExecutor* previous_;
+  };
+
  private:
   void worker_loop(std::size_t slot);
   void run_span(const Body& body, std::size_t n, std::size_t slot);

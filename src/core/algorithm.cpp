@@ -50,7 +50,7 @@ std::vector<std::uint8_t> FlAlgorithm::pretrain_first_wave(
       queue.schedule(job, device);
     }
   }
-  auto& pool = ParallelExecutor::global();
+  auto& pool = ParallelExecutor::current();
   if (job_scratch_.size() < pool.thread_count()) job_scratch_.resize(pool.thread_count());
   // Bytes, not vector<bool>: concurrent writes to adjacent bits would race.
   std::vector<std::uint8_t> pretrained(ctx_.device_count(), 0);

@@ -28,7 +28,7 @@ float mean_device_accuracy(const FlContext& ctx,
                            const std::vector<std::size_t>& devices) {
   FEDHISYN_CHECK(!devices.empty());
   const auto& test = ctx.fed->test;
-  auto& pool = ParallelExecutor::global();
+  auto& pool = ParallelExecutor::current();
   std::vector<nn::Workspace> workspaces(pool.thread_count());
   // Per-device accuracies land in their own slots and are summed in index
   // order afterwards, so the reduction is bit-identical for any thread count
@@ -68,7 +68,7 @@ std::string DecentralHomogeneous::name() const {
 
 void DecentralHomogeneous::run_round() {
   const std::size_t n = ctx_.device_count();
-  auto& pool = ParallelExecutor::global();
+  auto& pool = ParallelExecutor::current();
   std::vector<TrainScratch> scratch(pool.thread_count());
 
   // (1) Everyone trains one job on its current model.

@@ -1,34 +1,48 @@
+// Built-in algorithm registrations.  make_algorithm() itself lives in
+// registry.cpp; this file only declares the seven Table 1 methods (plus
+// FedAsync) to the registry and keeps the paper's column order.
 #include "core/factory.hpp"
 
-#include "common/check.hpp"
 #include "core/fedat.hpp"
 #include "core/fedasync.hpp"
 #include "core/fedavg_family.hpp"
 #include "core/fedhisyn_algo.hpp"
+#include "core/registry.hpp"
 #include "core/scaffold.hpp"
 #include "core/tafedavg.hpp"
 
 namespace fedhisyn::core {
 
-std::unique_ptr<FlAlgorithm> make_algorithm(const std::string& name,
-                                            const FlContext& ctx) {
-  if (name == "FedHiSyn") return std::make_unique<FedHiSynAlgo>(ctx);
-  if (name == "FedAvg") {
-    return std::make_unique<FedAvgFamily>(ctx, FedAvgVariant::kFedAvg);
-  }
-  if (name == "TFedAvg") {
-    return std::make_unique<FedAvgFamily>(ctx, FedAvgVariant::kTFedAvg);
-  }
-  if (name == "FedProx") {
-    return std::make_unique<FedAvgFamily>(ctx, FedAvgVariant::kFedProx);
-  }
-  if (name == "TAFedAvg") return std::make_unique<TAFedAvgAlgo>(ctx);
-  if (name == "FedAsync") return std::make_unique<FedAsyncAlgo>(ctx);
-  if (name == "FedAT") return std::make_unique<FedATAlgo>(ctx);
-  if (name == "SCAFFOLD") return std::make_unique<ScaffoldAlgo>(ctx);
-  FEDHISYN_CHECK_MSG(false, "unknown algorithm '" << name << "'");
-  return nullptr;
-}
+FEDHISYN_REGISTER_ALGORITHM("FedHiSyn", [](const FlContext& ctx) {
+  return std::make_unique<FedHiSynAlgo>(ctx);
+});
+FEDHISYN_REGISTER_ALGORITHM("FedAvg", [](const FlContext& ctx) {
+  return std::make_unique<FedAvgFamily>(ctx, FedAvgVariant::kFedAvg);
+});
+FEDHISYN_REGISTER_ALGORITHM("TFedAvg", [](const FlContext& ctx) {
+  return std::make_unique<FedAvgFamily>(ctx, FedAvgVariant::kTFedAvg);
+});
+FEDHISYN_REGISTER_ALGORITHM("FedProx", [](const FlContext& ctx) {
+  return std::make_unique<FedAvgFamily>(ctx, FedAvgVariant::kFedProx);
+});
+FEDHISYN_REGISTER_ALGORITHM("TAFedAvg", [](const FlContext& ctx) {
+  return std::make_unique<TAFedAvgAlgo>(ctx);
+});
+FEDHISYN_REGISTER_ALGORITHM("FedAsync", [](const FlContext& ctx) {
+  return std::make_unique<FedAsyncAlgo>(ctx);
+});
+FEDHISYN_REGISTER_ALGORITHM("FedAT", [](const FlContext& ctx) {
+  return std::make_unique<FedATAlgo>(ctx);
+});
+FEDHISYN_REGISTER_ALGORITHM("SCAFFOLD", [](const FlContext& ctx) {
+  return std::make_unique<ScaffoldAlgo>(ctx);
+});
+
+namespace detail {
+// Link anchor referenced by registry.cpp; being called guarantees this
+// object (and the static registrars above) is part of the binary.
+void builtin_algorithms_anchor() {}
+}  // namespace detail
 
 const std::vector<std::string>& table1_methods() {
   static const std::vector<std::string> methods = {

@@ -1,19 +1,24 @@
-// Name-based algorithm construction used by the Table 1 harness and examples.
+// Name-based algorithm construction used by the experiment drivers.
+//
+// make_algorithm/registered_methods come from the self-registering registry
+// (core/registry.hpp); this header re-exports them plus the paper's Table 1
+// column order, so existing includes keep working.
 #pragma once
 
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "core/algorithm.hpp"
+#include "core/registry.hpp"
 
 namespace fedhisyn::core {
 
-/// Supported names: FedHiSyn, FedAvg, TFedAvg, TAFedAvg, FedProx, FedAT,
-/// SCAFFOLD (case-sensitive, matching the paper's Table 1 columns).
-std::unique_ptr<FlAlgorithm> make_algorithm(const std::string& name, const FlContext& ctx);
+/// Built-in names: FedHiSyn, FedAvg, TFedAvg, TAFedAvg, FedProx, FedAT,
+/// SCAFFOLD, FedAsync (case-sensitive, matching the paper's Table 1
+/// columns).  Additional algorithms self-register via
+/// FEDHISYN_REGISTER_ALGORITHM.
 
-/// The paper's Table 1 column order.
+/// The paper's Table 1 column order (a subset of registered_methods()).
 const std::vector<std::string>& table1_methods();
 
 }  // namespace fedhisyn::core

@@ -51,7 +51,7 @@ void FedATAlgo::recombine_global() {
 void FedATAlgo::run_round() {
   if (!tiers_built_) build_tiers();
   const double interval = round_duration();
-  auto& pool = ParallelExecutor::global();
+  auto& pool = ParallelExecutor::current();
   std::vector<TrainScratch> scratch(pool.thread_count());
 
   // Each tier independently completes floor(interval / tier_round_time)

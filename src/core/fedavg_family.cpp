@@ -37,7 +37,7 @@ void FedAvgFamily::run_round() {
   // from the same global snapshot.  Determinism: per-device Rng derived from
   // (seed, round, device id), independent of thread schedule.
   std::vector<std::vector<float>> locals(participants.size());
-  auto& pool = ParallelExecutor::global();
+  auto& pool = ParallelExecutor::current();
   std::vector<TrainScratch> scratch(pool.thread_count());
 
   pool.parallel_for(participants.size(), [&](std::size_t i, std::size_t slot) {

@@ -45,8 +45,9 @@ FlContext BuiltExperiment::context(const FlOptions& opts) const {
   return ctx;
 }
 
-BuiltExperiment build_experiment(const BuildConfig& config) {
-  BuiltExperiment built;
+std::shared_ptr<BuiltExperiment> build_experiment(const BuildConfig& config) {
+  auto owned = std::make_shared<BuiltExperiment>();
+  BuiltExperiment& built = *owned;
   built.spec = data::spec_by_name(config.dataset);
 
   Rng rng(config.seed);
@@ -90,7 +91,7 @@ BuiltExperiment build_experiment(const BuildConfig& config) {
       built.fleet = sim::make_fleet_ratio(config.scale.devices, config.fleet_ratio_h, rng);
       break;
   }
-  return built;
+  return owned;
 }
 
 }  // namespace fedhisyn::core

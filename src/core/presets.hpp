@@ -31,8 +31,14 @@ ExperimentScale default_scale(const std::string& dataset, bool full);
 /// analogue of the paper's 96%/86%/75%/33%).
 float target_accuracy(const std::string& dataset);
 
-/// Owns everything an FlContext points to.
+/// Owns everything an FlContext points to.  Address-pinned: fed.shards hold
+/// pointers into fed.train, so the object must never be copied or moved —
+/// build_experiment() heap-allocates it and callers share the handle.
 struct BuiltExperiment {
+  BuiltExperiment() = default;
+  BuiltExperiment(const BuiltExperiment&) = delete;
+  BuiltExperiment& operator=(const BuiltExperiment&) = delete;
+
   data::SyntheticSpec spec;
   data::FederatedData fed;
   std::unique_ptr<nn::Network> network;
@@ -60,6 +66,6 @@ struct BuildConfig {
   std::uint64_t seed = 1;
 };
 
-BuiltExperiment build_experiment(const BuildConfig& config);
+std::shared_ptr<BuiltExperiment> build_experiment(const BuildConfig& config);
 
 }  // namespace fedhisyn::core

@@ -1,0 +1,83 @@
+#include "core/registry.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace fedhisyn::core {
+
+namespace detail {
+// Defined in factory.cpp next to the built-in FEDHISYN_REGISTER_ALGORITHM
+// invocations.  Calling it from every registry entry point forces the linker
+// to pull factory.o (and with it the registrations) into any binary that
+// uses the registry at all.
+void builtin_algorithms_anchor();
+}  // namespace detail
+
+namespace {
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, AlgorithmFactory> factories;
+};
+
+Registry& registry() {
+  static Registry instance;  // construct-on-first-use: safe during static init
+  return instance;
+}
+
+}  // namespace
+
+bool register_algorithm(std::string name, AlgorithmFactory factory) {
+  FEDHISYN_CHECK_MSG(factory != nullptr, "null factory for '" << name << "'");
+  auto& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  const bool inserted =
+      reg.factories.emplace(std::move(name), std::move(factory)).second;
+  FEDHISYN_CHECK_MSG(inserted, "algorithm registered twice");
+  return true;
+}
+
+std::vector<std::string> registered_methods() {
+  detail::builtin_algorithms_anchor();
+  auto& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<std::string> names;
+  names.reserve(reg.factories.size());
+  for (const auto& [name, factory] : reg.factories) names.push_back(name);
+  return names;  // std::map iterates sorted
+}
+
+bool algorithm_registered(const std::string& name) {
+  detail::builtin_algorithms_anchor();
+  auto& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  return reg.factories.count(name) > 0;
+}
+
+std::unique_ptr<FlAlgorithm> make_algorithm(const std::string& name,
+                                            const FlContext& ctx) {
+  detail::builtin_algorithms_anchor();
+  AlgorithmFactory factory;
+  {
+    auto& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    const auto it = reg.factories.find(name);
+    if (it != reg.factories.end()) factory = it->second;
+  }
+  if (!factory) {
+    std::ostringstream known;
+    for (const auto& method : registered_methods()) known << " " << method;
+    FEDHISYN_CHECK_MSG(false, "unknown algorithm '" << name << "' (registered:"
+                                                    << known.str() << ")");
+  }
+  auto algorithm = factory(ctx);
+  FEDHISYN_CHECK_MSG(algorithm != nullptr,
+                     "factory for '" << name << "' returned null");
+  return algorithm;
+}
+
+}  // namespace fedhisyn::core

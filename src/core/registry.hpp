@@ -1,0 +1,53 @@
+// Self-registering algorithm registry: maps method names (the paper's
+// Table 1 column labels) to factories producing FlAlgorithm instances.
+//
+// Algorithms register themselves with FEDHISYN_REGISTER_ALGORITHM at
+// namespace scope; make_algorithm() and registered_methods() look the
+// registrations up at runtime, so adding a method never touches a central
+// if/else chain again.
+//
+// The built-in registrations live in core/factory.cpp, which registry.cpp
+// anchors into every link (a static library only pulls objects that resolve
+// a symbol — without the anchor a binary calling only make_algorithm would
+// silently see an empty registry).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/algorithm.hpp"
+
+namespace fedhisyn::core {
+
+using AlgorithmFactory =
+    std::function<std::unique_ptr<FlAlgorithm>(const FlContext&)>;
+
+/// Register `factory` under `name` (case-sensitive).  Check-fails on a
+/// duplicate name — two registrations for one method is always a bug.
+/// Returns true so the registration macro can initialise a static.
+bool register_algorithm(std::string name, AlgorithmFactory factory);
+
+/// All registered names, sorted lexicographically (feeds --list-methods).
+std::vector<std::string> registered_methods();
+
+/// True when `name` has a registered factory.
+bool algorithm_registered(const std::string& name);
+
+/// Instantiate the registered algorithm `name`; throws CheckError naming the
+/// known methods when the name is unknown.
+std::unique_ptr<FlAlgorithm> make_algorithm(const std::string& name,
+                                            const FlContext& ctx);
+
+}  // namespace fedhisyn::core
+
+#define FEDHISYN_REGISTRY_CONCAT_INNER(a, b) a##b
+#define FEDHISYN_REGISTRY_CONCAT(a, b) FEDHISYN_REGISTRY_CONCAT_INNER(a, b)
+
+/// Namespace-scope registration: FEDHISYN_REGISTER_ALGORITHM("FedHiSyn",
+/// [](const FlContext& ctx) { return std::make_unique<FedHiSynAlgo>(ctx); });
+#define FEDHISYN_REGISTER_ALGORITHM(name, ...)                              \
+  static const bool FEDHISYN_REGISTRY_CONCAT(fedhisyn_algorithm_registrar_, \
+                                             __COUNTER__) =                 \
+      ::fedhisyn::core::register_algorithm(name, __VA_ARGS__)

@@ -228,7 +228,7 @@ RingEngineResult RingEngine::run_interval(const std::vector<sim::RingTopology>& 
     return last_output[device] != node;
   };
 
-  auto& pool = ParallelExecutor::global();
+  auto& pool = ParallelExecutor::current();
   std::vector<TrainScratch> scratch(pool.thread_count());
   for (std::size_t level = 0; level < by_level.size(); ++level) {
     const auto& wave = by_level[level];

@@ -22,7 +22,7 @@ void ScaffoldAlgo::run_round() {
 
   std::vector<std::vector<float>> locals(participants.size());
   std::vector<std::vector<float>> c_deltas(participants.size());
-  auto& pool = ParallelExecutor::global();
+  auto& pool = ParallelExecutor::current();
   std::vector<TrainScratch> scratch(pool.thread_count());
 
   // Participants never share a device within one round (drawn without

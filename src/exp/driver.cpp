@@ -1,0 +1,115 @@
+#include "exp/driver.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+#include "core/registry.hpp"
+#include "exp/scheduler.hpp"
+
+namespace fedhisyn::exp {
+
+namespace {
+
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> items;
+  std::string item;
+  for (const char c : text) {
+    if (c == ',') {
+      if (!item.empty()) items.push_back(item);
+      item.clear();
+    } else {
+      item.push_back(c);
+    }
+  }
+  if (!item.empty()) items.push_back(item);
+  return items;
+}
+
+}  // namespace
+
+GridDriverOptions handle_grid_flags(const Flags& flags) {
+  if (flags.get_bool("list-methods")) {
+    for (const auto& method : core::registered_methods()) {
+      std::printf("%s\n", method.c_str());
+    }
+    std::exit(0);
+  }
+  if (flags.has("threads")) {
+    const long threads = flags.get_long("threads", 0);
+    ParallelExecutor::global().set_thread_count(
+        threads > 0 ? static_cast<std::size_t>(threads) : 1);
+  }
+  GridDriverOptions options;
+  const long jobs =
+      flags.get_long("grid-jobs", static_cast<long>(GridScheduler::jobs_from_env()));
+  options.grid_jobs = jobs > 0 ? static_cast<std::size_t>(jobs) : 1;
+  options.out = flags.get("out", "");
+  return options;
+}
+
+std::vector<std::string> list_flag(const Flags& flags, const std::string& key,
+                                   const char* env_fallback,
+                                   std::vector<std::string> defaults) {
+  std::string raw;
+  if (flags.has(key)) {
+    raw = flags.get(key, "");
+  } else if (env_fallback != nullptr) {
+    const char* value = std::getenv(env_fallback);
+    if (value != nullptr) raw = value;
+  }
+  if (raw.empty()) return defaults;
+  auto items = split_list(raw);
+  FEDHISYN_CHECK_MSG(!items.empty(), "--" << key << " given an empty list");
+  return items;
+}
+
+std::vector<std::string> datasets_from_flags(const Flags& flags,
+                                             std::vector<std::string> defaults) {
+  return list_flag(flags, "dataset", "FEDHISYN_TABLE1_DATASET", std::move(defaults));
+}
+
+std::vector<double> participations_from_flags(const Flags& flags,
+                                              std::vector<double> defaults) {
+  const auto items = list_flag(flags, "part", "FEDHISYN_TABLE1_PART", {});
+  if (items.empty()) return defaults;
+  std::vector<double> fractions;
+  for (const auto& item : items) {
+    char* end = nullptr;
+    const double percent = std::strtod(item.c_str(), &end);
+    FEDHISYN_CHECK_MSG(end != item.c_str() && *end == '\0' && percent > 0.0 &&
+                           percent <= 100.0,
+                       "--part value '" << item << "' is not a percentage");
+    fractions.push_back(percent / 100.0);
+  }
+  return fractions;
+}
+
+std::vector<data::PartitionConfig> partitions_from_flags(
+    const Flags& flags, std::vector<data::PartitionConfig> defaults) {
+  const auto items = list_flag(flags, "partition", nullptr, {});
+  if (items.empty()) return defaults;
+  std::vector<data::PartitionConfig> partitions;
+  for (const auto& item : items) {
+    data::PartitionConfig config;
+    if (item == "iid" || item == "IID") {
+      config.iid = true;
+      config.beta = 0.0;
+    } else if (item.rfind("dir", 0) == 0) {
+      const std::string beta = item.substr(3);
+      char* end = nullptr;
+      config.iid = false;
+      config.beta = std::strtod(beta.c_str(), &end);
+      FEDHISYN_CHECK_MSG(end != beta.c_str() && *end == '\0' && config.beta > 0.0,
+                         "--partition token '" << item << "' needs dir<beta>");
+    } else {
+      FEDHISYN_CHECK_MSG(false, "--partition token '" << item
+                                                      << "' is not iid or dir<beta>");
+    }
+    partitions.push_back(config);
+  }
+  return partitions;
+}
+
+}  // namespace fedhisyn::exp

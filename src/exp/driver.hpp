@@ -1,0 +1,57 @@
+// Shared command-line handling for the grid drivers (Table 1 / figure
+// benches, examples, CLI).  Every driver built on the exp API accepts:
+//
+//   --threads N       worker-thread budget (FEDHISYN_THREADS env fallback)
+//   --grid-jobs N     concurrent grid cells (FEDHISYN_GRID_JOBS fallback; 1)
+//   --out PATH        per-cell results, JSONL by default, CSV if *.csv
+//   --list-methods    print the registered algorithms and exit
+//
+// Grid-restriction flags replace the old FEDHISYN_TABLE1_* getenv knobs;
+// the env vars remain as fallbacks for CI compatibility:
+//
+//   --dataset a,b     restrict the dataset axis   (FEDHISYN_TABLE1_DATASET)
+//   --part 100,50     restrict participation %    (FEDHISYN_TABLE1_PART)
+//   --partition x,y   restrict partitions: iid | dir<beta> (e.g. dir0.3)
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "data/partition.hpp"
+
+namespace fedhisyn::exp {
+
+struct GridDriverOptions {
+  std::size_t grid_jobs = 1;
+  /// Empty = no results file.
+  std::string out;
+};
+
+/// Apply the flags shared by every grid driver: resize the global pool for
+/// --threads, resolve --grid-jobs (FEDHISYN_GRID_JOBS fallback), capture
+/// --out, and handle --list-methods (prints and exits).
+GridDriverOptions handle_grid_flags(const Flags& flags);
+
+/// Comma-separated list flag with an env-var fallback: the flag value when
+/// present, else the env var `env_fallback` (when non-null and set), else
+/// `defaults`.
+std::vector<std::string> list_flag(const Flags& flags, const std::string& key,
+                                   const char* env_fallback,
+                                   std::vector<std::string> defaults);
+
+/// --dataset restriction with the FEDHISYN_TABLE1_DATASET fallback.
+std::vector<std::string> datasets_from_flags(const Flags& flags,
+                                             std::vector<std::string> defaults);
+
+/// --part restriction (percent values: "100,50,10") with the
+/// FEDHISYN_TABLE1_PART fallback.  Returns fractions in [0, 1].
+std::vector<double> participations_from_flags(const Flags& flags,
+                                              std::vector<double> defaults);
+
+/// --partition restriction: tokens "iid" or "dir<beta>" ("dir0.3").
+std::vector<data::PartitionConfig> partitions_from_flags(
+    const Flags& flags, std::vector<data::PartitionConfig> defaults);
+
+}  // namespace fedhisyn::exp

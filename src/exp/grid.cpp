@@ -1,0 +1,130 @@
+#include "exp/grid.hpp"
+
+#include "common/check.hpp"
+
+namespace fedhisyn::exp {
+
+void ExperimentGrid::add_axis(const char* name, std::vector<Setter> values) {
+  FEDHISYN_CHECK_MSG(!values.empty(), "axis '" << name << "' set to an empty list");
+  for (auto& axis : axes_) {
+    FEDHISYN_CHECK_MSG(std::string(axis.name) != name,
+                       "axis '" << name << "' set twice");
+  }
+  axes_.push_back({name, std::move(values)});
+}
+
+ExperimentGrid& ExperimentGrid::datasets(std::vector<std::string> values) {
+  std::vector<Setter> setters;
+  for (auto& value : values) {
+    setters.push_back([value](ExperimentSpec& s) { s.build.dataset = value; });
+  }
+  add_axis("dataset", std::move(setters));
+  return *this;
+}
+
+ExperimentGrid& ExperimentGrid::participations(std::vector<double> values) {
+  std::vector<Setter> setters;
+  for (const double value : values) {
+    setters.push_back([value](ExperimentSpec& s) { s.opts.participation = value; });
+  }
+  add_axis("participation", std::move(setters));
+  return *this;
+}
+
+ExperimentGrid& ExperimentGrid::partitions(std::vector<data::PartitionConfig> values) {
+  std::vector<Setter> setters;
+  for (const auto& value : values) {
+    setters.push_back([value](ExperimentSpec& s) { s.build.partition = value; });
+  }
+  add_axis("partition", std::move(setters));
+  return *this;
+}
+
+ExperimentGrid& ExperimentGrid::methods(std::vector<std::string> values) {
+  std::vector<Setter> setters;
+  for (auto& value : values) {
+    setters.push_back([value](ExperimentSpec& s) { s.method = value; });
+  }
+  add_axis("method", std::move(setters));
+  return *this;
+}
+
+ExperimentGrid& ExperimentGrid::clusters(std::vector<std::size_t> values) {
+  std::vector<Setter> setters;
+  for (const std::size_t value : values) {
+    setters.push_back([value](ExperimentSpec& s) { s.opts.clusters = value; });
+  }
+  add_axis("clusters", std::move(setters));
+  return *this;
+}
+
+ExperimentGrid& ExperimentGrid::heterogeneity_ratios(std::vector<double> values) {
+  std::vector<Setter> setters;
+  for (const double value : values) {
+    setters.push_back([value](ExperimentSpec& s) {
+      s.build.fleet_kind = core::FleetKind::kRatio;
+      s.build.fleet_ratio_h = value;
+    });
+  }
+  add_axis("heterogeneity", std::move(setters));
+  return *this;
+}
+
+ExperimentGrid& ExperimentGrid::seeds(std::vector<std::uint64_t> values) {
+  std::vector<Setter> setters;
+  for (const std::uint64_t value : values) {
+    setters.push_back([value](ExperimentSpec& s) { s.with_seed(value); });
+  }
+  add_axis("seed", std::move(setters));
+  return *this;
+}
+
+ExperimentGrid& ExperimentGrid::auto_scale(bool full) {
+  auto_scale_ = true;
+  full_ = full;
+  return *this;
+}
+
+ExperimentGrid& ExperimentGrid::override_each(
+    std::function<void(ExperimentSpec&)> hook) {
+  FEDHISYN_CHECK(hook != nullptr);
+  hooks_.push_back(std::move(hook));
+  return *this;
+}
+
+std::size_t ExperimentGrid::cell_count() const {
+  std::size_t count = 1;
+  for (const auto& axis : axes_) count *= axis.values.size();
+  return count;
+}
+
+std::vector<ExperimentSpec> ExperimentGrid::expand() const {
+  std::vector<ExperimentSpec> specs;
+  specs.reserve(cell_count());
+  // Odometer over the axes: indices[0] (the first axis set) is the
+  // outermost loop, the last axis the innermost.
+  std::vector<std::size_t> indices(axes_.size(), 0);
+  for (;;) {
+    ExperimentSpec spec = base_;
+    for (std::size_t a = 0; a < axes_.size(); ++a) {
+      axes_[a].values[indices[a]](spec);
+    }
+    if (auto_scale_) {
+      spec.build.scale = core::default_scale(spec.build.dataset, full_);
+      spec.target = core::target_accuracy(spec.build.dataset);
+    }
+    for (const auto& hook : hooks_) hook(spec);
+    specs.push_back(std::move(spec));
+
+    // Increment the innermost axis; carry outward.
+    std::size_t a = axes_.size();
+    for (;;) {
+      if (a == 0) return specs;
+      --a;
+      if (++indices[a] < axes_[a].values.size()) break;
+      indices[a] = 0;
+    }
+  }
+}
+
+}  // namespace fedhisyn::exp

@@ -1,0 +1,81 @@
+// ExperimentGrid: declarative axis-product builder for experiment sweeps.
+//
+//   exp::ExperimentGrid grid;
+//   grid.base().with_seed(101);
+//   grid.participations({1.0, 0.5, 0.1})
+//       .partitions({{true, 0.0}, {false, 0.8}, {false, 0.3}})
+//       .datasets({"mnist", "emnist", "cifar10", "cifar100"})
+//       .methods(core::table1_methods())
+//       .auto_scale(full)
+//       .override_each([&](exp::ExperimentSpec& s) {
+//         s.opts.clusters = s.opts.participation <= 0.11 ? 1 : 5;
+//       });
+//   std::vector<exp::ExperimentSpec> specs = grid.expand();
+//
+// Axis nesting follows *call order*: the first axis set is the outermost
+// loop, the last the innermost — so expand() enumerates cells exactly the
+// way the hand-written nested loops in the benches used to.  Axes that are
+// never set contribute the base() spec's value.  Override hooks run per
+// expanded spec after all axis values (and auto_scale) are applied, in
+// registration order — the place for cross-axis rules like "clusters as a
+// function of participation".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/partition.hpp"
+#include "exp/spec.hpp"
+
+namespace fedhisyn::exp {
+
+class ExperimentGrid {
+ public:
+  /// The template every cell starts from; mutate freely before expand().
+  ExperimentSpec& base() { return base_; }
+  const ExperimentSpec& base() const { return base_; }
+
+  ExperimentGrid& datasets(std::vector<std::string> values);
+  ExperimentGrid& participations(std::vector<double> values);
+  ExperimentGrid& partitions(std::vector<data::PartitionConfig> values);
+  ExperimentGrid& methods(std::vector<std::string> values);
+  ExperimentGrid& clusters(std::vector<std::size_t> values);
+  /// Exact-ratio heterogeneous fleets (FleetKind::kRatio with H = t_max/t_min).
+  ExperimentGrid& heterogeneity_ratios(std::vector<double> values);
+  ExperimentGrid& seeds(std::vector<std::uint64_t> values);
+
+  /// After the axes are applied, reset scale and target to the per-dataset
+  /// defaults (core::default_scale / core::target_accuracy) — what every
+  /// paper bench does.  `full` selects paper scale (FEDHISYN_FULL).
+  ExperimentGrid& auto_scale(bool full);
+
+  /// Hook applied to every expanded spec after axis values and auto_scale;
+  /// hooks run in the order they were added.
+  ExperimentGrid& override_each(std::function<void(ExperimentSpec&)> hook);
+
+  /// Number of cells expand() will produce (product of axis sizes).
+  std::size_t cell_count() const;
+
+  /// Materialise the axis product in deterministic order (outermost axis =
+  /// first one set).  Check-fails if any axis was set to an empty list.
+  std::vector<ExperimentSpec> expand() const;
+
+ private:
+  using Setter = std::function<void(ExperimentSpec&)>;
+  void add_axis(const char* name, std::vector<Setter> values);
+
+  ExperimentSpec base_;
+  struct Axis {
+    const char* name;
+    std::vector<Setter> values;
+  };
+  std::vector<Axis> axes_;
+  std::vector<std::function<void(ExperimentSpec&)>> hooks_;
+  bool auto_scale_ = false;
+  bool full_ = false;
+};
+
+}  // namespace fedhisyn::exp

@@ -1,0 +1,159 @@
+#include "exp/scheduler.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "common/check.hpp"
+#include "common/env.hpp"
+#include "common/parallel.hpp"
+#include "core/registry.hpp"
+
+namespace fedhisyn::exp {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Build memo keyed on build_key(): the first cell to need a build performs
+/// it, concurrent cells with the same key wait on its once_flag instead of
+/// rebuilding.
+class BuildCache {
+ public:
+  std::shared_ptr<const core::BuiltExperiment> get(const ExperimentSpec& spec) {
+    std::shared_ptr<Entry> entry;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto& slot = entries_[spec.build_key()];
+      if (slot == nullptr) slot = std::make_shared<Entry>();
+      entry = slot;
+    }
+    std::call_once(entry->once, [&] { entry->built = build_for(spec); });
+    return entry->built;
+  }
+
+ private:
+  struct Entry {
+    std::once_flag once;
+    std::shared_ptr<const core::BuiltExperiment> built;
+  };
+  std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<Entry>> entries_;
+};
+
+}  // namespace
+
+std::shared_ptr<const core::BuiltExperiment> build_for(const ExperimentSpec& spec) {
+  return core::build_experiment(spec.build);
+}
+
+CellResult run_cell(const ExperimentSpec& spec, const core::BuiltExperiment& built,
+                    const CellHooks& hooks) {
+  const auto start = std::chrono::steady_clock::now();
+  auto algorithm = core::make_algorithm(spec.method, built.context(spec.opts));
+  core::ExperimentRunner runner(spec.build.scale.rounds, spec.resolved_target());
+  runner.set_eval_every(spec.eval_every);
+  if (hooks.on_round) runner.set_on_round(hooks.on_round);
+
+  CellResult cell;
+  cell.spec = spec;
+  cell.result = runner.run(*algorithm);
+  if (hooks.final_weights != nullptr) {
+    const auto weights = algorithm->global_weights();
+    hooks.final_weights->assign(weights.begin(), weights.end());
+  }
+  cell.seconds = seconds_since(start);
+  return cell;
+}
+
+CellResult run_cell(const ExperimentSpec& spec, const CellHooks& hooks) {
+  const auto built = build_for(spec);
+  return run_cell(spec, *built, hooks);
+}
+
+GridScheduler::GridScheduler(Options options) : options_(std::move(options)) {}
+
+std::size_t GridScheduler::jobs_from_env() {
+  const long jobs = env_long("FEDHISYN_GRID_JOBS", 0);
+  return jobs > 0 ? static_cast<std::size_t>(jobs) : 1;
+}
+
+std::size_t GridScheduler::resolved_jobs(std::size_t cells) const {
+  std::size_t jobs = options_.jobs > 0 ? options_.jobs : jobs_from_env();
+  if (jobs > cells) jobs = cells;
+  return jobs > 0 ? jobs : 1;
+}
+
+std::size_t GridScheduler::inner_threads(std::size_t jobs) const {
+  const std::size_t total = options_.total_threads > 0
+                                ? options_.total_threads
+                                : ParallelExecutor::global().thread_count();
+  return total / jobs > 0 ? total / jobs : 1;
+}
+
+std::vector<CellResult> GridScheduler::run(
+    const std::vector<ExperimentSpec>& specs) const {
+  std::vector<CellResult> results(specs.size());
+  if (specs.empty()) return results;
+
+  BuildCache cache;
+  std::mutex progress_mutex;
+  std::size_t done = 0;
+  const auto run_one = [&](std::size_t i) {
+    std::shared_ptr<const core::BuiltExperiment> built =
+        options_.share_builds ? cache.get(specs[i]) : build_for(specs[i]);
+    results[i] = run_cell(specs[i], *built);
+    if (options_.on_cell) {
+      std::lock_guard<std::mutex> lock(progress_mutex);
+      options_.on_cell(++done, specs.size(), results[i]);
+    }
+  };
+
+  const std::size_t jobs = resolved_jobs(specs.size());
+  if (jobs == 1) {
+    // Serial sweep on the caller's executor (normally the full global pool):
+    // the reference ordering every parallel run must reproduce byte-for-byte.
+    for (std::size_t i = 0; i < specs.size(); ++i) run_one(i);
+    return results;
+  }
+
+  const std::size_t inner = inner_threads(jobs);
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> abort{false};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::vector<std::thread> workers;
+  workers.reserve(jobs);
+  for (std::size_t j = 0; j < jobs; ++j) {
+    workers.emplace_back([&] {
+      // One private pool per worker: inner loops of the cell fan out here
+      // instead of on the (busy) global pool.
+      ParallelExecutor pool(inner);
+      ParallelExecutor::Bind bind(pool);
+      for (;;) {
+        // Match the serial path's fail-fast behaviour: after the first cell
+        // error, in-flight cells finish but no new ones start.
+        if (abort.load(std::memory_order_relaxed)) break;
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= specs.size()) break;
+        try {
+          run_one(i);
+        } catch (...) {
+          abort.store(true, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+}  // namespace fedhisyn::exp

@@ -1,0 +1,96 @@
+// GridScheduler: runs a vector of ExperimentSpecs (grid cells) concurrently.
+//
+// Two-level thread budget: `jobs` cells run at once (--grid-jobs /
+// FEDHISYN_GRID_JOBS, default 1 = serial), each on its own worker thread
+// with a private ParallelExecutor of floor(total_threads / jobs) threads
+// bound as ParallelExecutor::current() — so a cell's inner parallel loops
+// (training waves, GEMM, evaluation) fan out on the cell's pool and
+// concurrent cells never contend for the global pool's single job slot.
+// total_threads defaults to the global pool size (FEDHISYN_THREADS /
+// --threads).
+//
+// Determinism: a cell's computation depends only on its spec (per-cell
+// seeding comes from spec.build.seed / spec.opts.seed, and every kernel is
+// bit-identical across thread counts), and results are collected by spec
+// index — so a --grid-jobs N run produces byte-identical output to a serial
+// sweep.
+//
+// Builds are deduped: cells with equal spec.build_key() share one
+// BuiltExperiment (e.g. Table 1 runs 7 methods per build).  All builds stay
+// alive until run() returns.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "exp/spec.hpp"
+
+namespace fedhisyn::exp {
+
+/// Everything one finished cell produced.  Wall-clock seconds are reported
+/// for humans only — result sinks exclude them so output files stay
+/// byte-stable across thread counts and machines.
+struct CellResult {
+  ExperimentSpec spec;
+  core::ExperimentResult result;
+  double seconds = 0.0;
+};
+
+/// Optional extras for single-cell drivers (the CLI, quickstart).
+struct CellHooks {
+  /// Forwarded to ExperimentRunner::set_on_round.
+  std::function<void(const core::RoundRecord&)> on_round;
+  /// When non-null, receives the algorithm's final global weights.
+  std::vector<float>* final_weights = nullptr;
+};
+
+/// Build the experiment a spec describes (data, partition, model, fleet).
+std::shared_ptr<const core::BuiltExperiment> build_for(const ExperimentSpec& spec);
+
+/// Run one cell against an already-built experiment.
+CellResult run_cell(const ExperimentSpec& spec, const core::BuiltExperiment& built,
+                    const CellHooks& hooks = {});
+
+/// Convenience: build then run.
+CellResult run_cell(const ExperimentSpec& spec, const CellHooks& hooks = {});
+
+class GridScheduler {
+ public:
+  struct Options {
+    /// Concurrent cells; 0 resolves FEDHISYN_GRID_JOBS (default 1).  Clamped
+    /// to the number of cells.
+    std::size_t jobs = 0;
+    /// Thread budget split across the running cells; 0 = the global pool's
+    /// current size.
+    std::size_t total_threads = 0;
+    /// Share BuiltExperiments between cells with equal build_key().
+    bool share_builds = true;
+    /// Progress callback, invoked once per finished cell (serialised, in
+    /// completion order): (cells done, cells total, the cell).
+    std::function<void(std::size_t, std::size_t, const CellResult&)> on_cell;
+  };
+
+  GridScheduler() : GridScheduler(Options{}) {}
+  explicit GridScheduler(Options options);
+
+  /// Run every spec; results[i] corresponds to specs[i] regardless of
+  /// completion order.  The first cell exception is rethrown after all
+  /// workers drain.
+  std::vector<CellResult> run(const std::vector<ExperimentSpec>& specs) const;
+
+  /// Jobs the scheduler will actually use for a grid of `cells` cells.
+  std::size_t resolved_jobs(std::size_t cells) const;
+  /// Inner per-cell threads for the given outer job count.
+  std::size_t inner_threads(std::size_t jobs) const;
+
+  /// FEDHISYN_GRID_JOBS when set to a positive integer, else 1.
+  static std::size_t jobs_from_env();
+
+ private:
+  Options options_;
+};
+
+}  // namespace fedhisyn::exp

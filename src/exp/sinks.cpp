@@ -1,0 +1,98 @@
+#include "exp/sinks.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace fedhisyn::exp {
+
+namespace {
+
+std::string fmt_acc(float value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", static_cast<double>(value));
+  return buf;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_jsonl_line(const CellResult& cell) {
+  const ExperimentSpec& spec = cell.spec;
+  const core::ExperimentResult& result = cell.result;
+  std::ostringstream out;
+  out << "{\"label\":\"" << json_escape(spec.label()) << "\""
+      << ",\"dataset\":\"" << json_escape(spec.build.dataset) << "\""
+      << ",\"partition\":\"" << json_escape(spec.partition_label()) << "\""
+      << ",\"participation\":" << fmt_g(spec.opts.participation)
+      << ",\"method\":\"" << json_escape(spec.method) << "\""
+      << ",\"clusters\":" << spec.opts.clusters
+      << ",\"devices\":" << spec.build.scale.devices
+      << ",\"rounds\":" << spec.build.scale.rounds
+      << ",\"seed\":" << spec.opts.seed
+      << ",\"target\":" << fmt_acc(spec.resolved_target())
+      << ",\"eval_every\":" << spec.eval_every
+      << ",\"final_accuracy\":" << fmt_acc(result.final_accuracy)
+      << ",\"best_accuracy\":" << fmt_acc(result.best_accuracy)
+      << ",\"comm_to_target\":";
+  if (result.comm_to_target.has_value()) {
+    out << fmt_g(*result.comm_to_target);
+  } else {
+    out << "null";
+  }
+  out << ",\"rounds_to_target\":";
+  if (result.rounds_to_target.has_value()) {
+    out << *result.rounds_to_target;
+  } else {
+    out << "null";
+  }
+  out << ",\"cell\":\"" << json_escape(result.table_cell()) << "\""
+      << ",\"key\":\"" << json_escape(spec.to_key()) << "\"}";
+  return out.str();
+}
+
+std::string csv_header() {
+  return "label,dataset,partition,participation,method,clusters,devices,rounds,"
+         "seed,target,final_accuracy,best_accuracy,comm_to_target,"
+         "rounds_to_target";
+}
+
+std::string to_csv_row(const CellResult& cell) {
+  const ExperimentSpec& spec = cell.spec;
+  const core::ExperimentResult& result = cell.result;
+  std::ostringstream out;
+  out << spec.label() << "," << spec.build.dataset << "," << spec.partition_label()
+      << "," << fmt_g(spec.opts.participation) << "," << spec.method << ","
+      << spec.opts.clusters << "," << spec.build.scale.devices << ","
+      << spec.build.scale.rounds << "," << spec.opts.seed << ","
+      << fmt_acc(spec.resolved_target()) << "," << fmt_acc(result.final_accuracy)
+      << "," << fmt_acc(result.best_accuracy) << ",";
+  if (result.comm_to_target.has_value()) out << fmt_g(*result.comm_to_target);
+  out << ",";
+  if (result.rounds_to_target.has_value()) out << *result.rounds_to_target;
+  return out.str();
+}
+
+void write_results(const std::string& path, const std::vector<CellResult>& cells) {
+  std::ofstream out(path);
+  FEDHISYN_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  const bool csv =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  if (csv) out << csv_header() << "\n";
+  for (const auto& cell : cells) {
+    out << (csv ? to_csv_row(cell) : to_jsonl_line(cell)) << "\n";
+  }
+}
+
+}  // namespace fedhisyn::exp

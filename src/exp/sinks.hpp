@@ -1,0 +1,31 @@
+// Structured result sinks: serialise finished grid cells as JSONL or CSV so
+// benches have machine-readable output beyond their ASCII tables.
+//
+// Output is byte-stable: fields appear in a fixed order, floats use
+// locale-independent "%g"/"%.6g" formatting, rows follow spec order (not
+// completion order) and wall-clock timings are excluded — a --grid-jobs N
+// run serialises identically to a serial one (CI diffs the two).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/scheduler.hpp"
+
+namespace fedhisyn::exp {
+
+/// One cell as a single-line JSON object (no trailing newline).
+std::string to_jsonl_line(const CellResult& cell);
+
+/// CSV header matching to_csv_row's columns.
+std::string csv_header();
+
+/// One cell as a CSV row (no trailing newline).  comm_to_target /
+/// rounds_to_target are empty when the target was never reached.
+std::string to_csv_row(const CellResult& cell);
+
+/// Serialise all cells: path ending in ".csv" selects CSV (with header),
+/// anything else JSONL.  Check-fails if the file cannot be opened.
+void write_results(const std::string& path, const std::vector<CellResult>& cells);
+
+}  // namespace fedhisyn::exp

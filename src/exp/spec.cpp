@@ -1,0 +1,96 @@
+#include "exp/spec.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace fedhisyn::exp {
+
+std::string fmt_g(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
+}
+
+namespace {
+
+const char* fleet_name(core::FleetKind kind) {
+  switch (kind) {
+    case core::FleetKind::kUniformEpochs: return "uniform";
+    case core::FleetKind::kHomogeneous: return "homogeneous";
+    case core::FleetKind::kRatio: return "ratio";
+  }
+  return "?";
+}
+
+const char* aggregation_name(core::AggregationRule rule) {
+  switch (rule) {
+    case core::AggregationRule::kUniform: return "uniform";
+    case core::AggregationRule::kTimeWeighted: return "time";
+    case core::AggregationRule::kSampleWeighted: return "sample";
+  }
+  return "?";
+}
+
+}  // namespace
+
+ExperimentSpec& ExperimentSpec::with_seed(std::uint64_t seed) {
+  build.seed = seed;
+  opts.seed = seed;
+  return *this;
+}
+
+float ExperimentSpec::resolved_target() const {
+  return target > 0.0f ? target : core::target_accuracy(build.dataset);
+}
+
+std::string ExperimentSpec::partition_label() const {
+  if (build.partition.iid) return "IID";
+  return "Dirichlet(" + fmt_g(build.partition.beta) + ")";
+}
+
+std::string ExperimentSpec::label() const {
+  std::ostringstream out;
+  out << build.dataset << "/" << partition_label() << "/p"
+      << fmt_g(opts.participation * 100.0) << "/" << method << "/s" << opts.seed;
+  return out.str();
+}
+
+std::string ExperimentSpec::build_key() const {
+  std::ostringstream out;
+  out << "ds=" << build.dataset << "|dev=" << build.scale.devices
+      << "|spd=" << build.scale.train_samples_per_device
+      << "|test=" << build.scale.test_samples
+      << "|part=" << (build.partition.iid ? "iid" : "dirichlet")
+      << "|beta=" << fmt_g(build.partition.iid ? 0.0 : build.partition.beta)
+      << "|fleet=" << fleet_name(build.fleet_kind);
+  if (build.fleet_kind == core::FleetKind::kRatio) {
+    out << "|h=" << fmt_g(build.fleet_ratio_h);
+  }
+  out << "|cnn=" << (build.use_cnn ? 1 : 0) << "|hidden=";
+  if (build.mlp_hidden.empty()) {
+    out << "auto";
+  } else {
+    for (std::size_t i = 0; i < build.mlp_hidden.size(); ++i) {
+      if (i > 0) out << "x";
+      out << build.mlp_hidden[i];
+    }
+  }
+  out << "|bseed=" << build.seed;
+  return out.str();
+}
+
+std::string ExperimentSpec::to_key() const {
+  std::ostringstream out;
+  out << build_key() << "|method=" << method << "|rounds=" << build.scale.rounds
+      << "|lr=" << fmt_g(opts.lr) << "|batch=" << opts.batch_size
+      << "|epochs=" << opts.local_epochs << "|p=" << fmt_g(opts.participation)
+      << "|K=" << opts.clusters << "|agg=" << aggregation_name(opts.aggregation)
+      << "|ring=" << sim::ring_order_name(opts.ring_order)
+      << "|direct=" << (opts.direct_use ? 1 : 0) << "|mu=" << fmt_g(opts.prox_mu)
+      << "|mom=" << fmt_g(opts.momentum) << "|alpha=" << fmt_g(opts.async_alpha)
+      << "|seed=" << opts.seed << "|target=" << fmt_g(resolved_target())
+      << "|eval=" << eval_every;
+  return out.str();
+}
+
+}  // namespace fedhisyn::exp

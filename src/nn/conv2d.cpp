@@ -65,7 +65,7 @@ void Conv2d::forward(const Shape3& in, std::span<const float> params, const Tens
   const auto bias = params.subspan(static_cast<std::size_t>(out_channels_ * col_rows),
                                    static_cast<std::size_t>(out_channels_));
 
-  auto& pool = ParallelExecutor::global();
+  auto& pool = ParallelExecutor::current();
   std::vector<std::vector<float>> columns(pool.thread_count());
   pool.parallel_for(static_cast<std::size_t>(batch), [&](std::size_t bi, std::size_t slot) {
     const auto b = static_cast<std::int64_t>(bi);

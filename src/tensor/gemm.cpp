@@ -16,7 +16,7 @@ constexpr std::int64_t kParallelRowThreshold = 16;
 template <typename RowBody>
 void for_each_row(std::int64_t m, const RowBody& body) {
   if (m >= kParallelRowThreshold && !ParallelExecutor::in_parallel_region()) {
-    ParallelExecutor::global().parallel_for(
+    ParallelExecutor::current().parallel_for(
         static_cast<std::size_t>(m),
         [&](std::size_t i, std::size_t) { body(static_cast<std::int64_t>(i)); });
   } else {

@@ -406,11 +406,11 @@ TEST(Presets, BuildsEverySuite) {
     config.scale.train_samples_per_device = 20;
     config.scale.test_samples = 40;
     const auto built = build_experiment(config);
-    EXPECT_EQ(built.fed.device_count(), 8u);
-    EXPECT_EQ(built.fleet.size(), 8u);
-    EXPECT_EQ(built.fed.train.size(), 160);
-    EXPECT_TRUE(built.network->finalized());
-    const auto ctx = built.context({});
+    EXPECT_EQ(built->fed.device_count(), 8u);
+    EXPECT_EQ(built->fleet.size(), 8u);
+    EXPECT_EQ(built->fed.train.size(), 160);
+    EXPECT_TRUE(built->network->finalized());
+    const auto ctx = built->context({});
     EXPECT_EQ(ctx.device_count(), 8u);
   }
 }
@@ -424,7 +424,7 @@ TEST(Presets, CnnRequestedForImageSuite) {
   config.use_cnn = true;
   const auto built = build_experiment(config);
   // The CNN has conv layers -> far more layers than the 5-layer MLP.
-  EXPECT_GT(built.network->layer_count(), 8u);
+  EXPECT_GT(built->network->layer_count(), 8u);
 }
 
 TEST(Presets, TargetsDefinedForAllSuites) {

@@ -142,7 +142,7 @@ TEST(ParallelExecutor, EnvOverrideControlsDefaultThreadCount) {
 /// A tiny heterogeneous world: 6 devices at ratio-4 speeds, Non-IID shards,
 /// 2 classes — enough to exercise rings with multiple jobs per interval,
 /// FedAT tiers, and async re-downloads.
-core::BuiltExperiment tiny_world() {
+std::shared_ptr<core::BuiltExperiment> tiny_world() {
   core::BuildConfig config;
   config.dataset = "mnist";
   config.scale.devices = 6;
@@ -205,8 +205,8 @@ TEST(ParallelDeterminism, SerialAndFourThreadRunsAreBitIdentical) {
                                             "TAFedAvg", "FedAsync", "FedAT",
                                             "SCAFFOLD", "FedHiSyn"};
   for (const auto& name : methods) {
-    const auto serial = run_with_threads(world, name, 1);
-    const auto parallel = run_with_threads(world, name, 4);
+    const auto serial = run_with_threads(*world, name, 1);
+    const auto parallel = run_with_threads(*world, name, 4);
     expect_identical(serial, parallel, name);
   }
 }
@@ -216,14 +216,14 @@ TEST(ParallelDeterminism, AveragingAblationWithLinkDelaysIsBitIdentical) {
   // in-flight delivery path: direct_use=false plus non-zero link delays on
   // half the fleet.
   auto world = tiny_world();
-  for (std::size_t d = 0; d < world.fleet.size(); ++d) {
-    if (d % 2 == 1) world.fleet[d].link_delay = 0.3;
+  for (std::size_t d = 0; d < world->fleet.size(); ++d) {
+    if (d % 2 == 1) world->fleet[d].link_delay = 0.3;
   }
   const auto run = [&](std::size_t threads) {
     ParallelExecutor::global().set_thread_count(threads);
     auto opts = tiny_options();
     opts.direct_use = false;
-    const auto ctx = world.context(opts);
+    const auto ctx = world->context(opts);
     core::FedHiSynAlgo hisyn(ctx);
     core::DecentralRing ring(ctx);
     std::vector<float> accuracies;
@@ -247,7 +247,7 @@ TEST(ParallelDeterminism, DecentralModesAreBitIdentical) {
   const auto world = tiny_world();
   const auto run_decentral = [&](std::size_t threads) {
     ParallelExecutor::global().set_thread_count(threads);
-    const auto ctx = world.context(tiny_options());
+    const auto ctx = world->context(tiny_options());
     core::DecentralRing ring(ctx);
     core::DecentralHomogeneous homogeneous(ctx, core::DecentralMode::kRingAvg);
     std::vector<float> accuracies;
@@ -263,6 +263,34 @@ TEST(ParallelDeterminism, DecentralModesAreBitIdentical) {
   const auto serial = run_decentral(1);
   const auto parallel = run_decentral(4);
   ASSERT_EQ(serial, parallel);
+}
+
+TEST(ParallelDeterminism, ShardedTestEvaluationIsBitIdentical) {
+  // Network::accuracy shards the test set over the pool in chunks of
+  // `batch`; chunk boundaries are thread-count independent and per-chunk
+  // correct counts are integers, so any pool size must produce the same
+  // bits.  Use a small batch so the 60-sample test set spans many chunks.
+  const auto world = tiny_world();
+  Rng rng(3);
+  const auto weights = world->network->init_weights(rng);
+  const auto& test = world->fed.test;
+  const auto eval = [&](std::size_t threads) {
+    ParallelExecutor::global().set_thread_count(threads);
+    nn::Workspace ws;
+    const float accuracy =
+        world->network->accuracy(weights, test.x, std::span<const std::int32_t>(test.y),
+                                 ws, /*batch=*/7);
+    ParallelExecutor::global().set_thread_count(ParallelExecutor::threads_from_env());
+    return accuracy;
+  };
+  const float serial = eval(1);
+  const float parallel = eval(4);
+  ASSERT_EQ(serial, parallel);
+  // And the chunked result matches a whole-set forward pass.
+  nn::Workspace ws;
+  const float one_chunk = world->network->accuracy(
+      weights, test.x, std::span<const std::int32_t>(test.y), ws, /*batch=*/1024);
+  ASSERT_EQ(serial, one_chunk);
 }
 
 }  // namespace

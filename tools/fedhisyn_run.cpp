@@ -1,4 +1,5 @@
-// fedhisyn_run — command-line driver for single experiments.
+// fedhisyn_run — command-line driver for single experiments, built on the
+// declarative experiment API (exp::ExperimentSpec + exp::run_cell).
 //
 //   fedhisyn_run --dataset cifar10 --method FedHiSyn --beta 0.3 \
 //                --participation 0.5 --clusters 10 --rounds 50 \
@@ -6,8 +7,8 @@
 //
 // Flags (all optional; defaults follow the paper's §6.1 setting):
 //   --dataset NAME        mnist|emnist|cifar10|cifar100        [mnist]
-//   --method NAME         FedHiSyn|FedAvg|TFedAvg|TAFedAvg|FedProx|
-//                         FedAT|SCAFFOLD|FedAsync               [FedHiSyn]
+//   --method NAME         any registered algorithm              [FedHiSyn]
+//   --list-methods        print the registered algorithms and exit
 //   --rounds N            aggregation rounds                    [suite default]
 //   --devices N           fleet size                            [scale default]
 //   --iid                 IID partition (default: Dirichlet)
@@ -25,6 +26,7 @@
 //   --seed N                                                    [1]
 //   --target X            rounds-to-target accuracy             [suite default]
 //   --eval-every N                                              [1]
+//   --out PATH            result as one JSONL line (or CSV with *.csv)
 //   --history-csv PATH    write the per-round history as CSV
 //   --save-model PATH     save the final global weights (.fhsw)
 #include <cstdio>
@@ -33,11 +35,11 @@
 #include "common/check.hpp"
 #include "common/env.hpp"
 #include "common/flags.hpp"
-#include "common/parallel.hpp"
 #include "common/table.hpp"
-#include "core/factory.hpp"
 #include "core/presets.hpp"
-#include "core/runner.hpp"
+#include "exp/driver.hpp"
+#include "exp/scheduler.hpp"
+#include "exp/sinks.hpp"
 #include "nn/serialize.hpp"
 
 namespace {
@@ -76,71 +78,69 @@ int main(int argc, char** argv) {
 
 int run_experiment(const fedhisyn::Flags& flags) {
   using namespace fedhisyn;
+  // Shared grid-driver flags: --threads, --list-methods, --out.
+  const auto grid_options = exp::handle_grid_flags(flags);
 
-  if (flags.has("threads")) {
-    const long threads = flags.get_long("threads", 0);
-    // Non-positive (or unparseable) values fall back to a single worker
-    // rather than wrapping through size_t.
-    ParallelExecutor::global().set_thread_count(
-        threads > 0 ? static_cast<std::size_t>(threads) : 1);
+  exp::ExperimentSpec spec;
+  spec.build.dataset = flags.get("dataset", "mnist");
+  spec.build.scale = core::default_scale(spec.build.dataset, full_scale_enabled());
+  if (flags.has("rounds")) {
+    spec.build.scale.rounds = static_cast<int>(flags.get_long("rounds", 0));
   }
-
-  core::BuildConfig config;
-  config.dataset = flags.get("dataset", "mnist");
-  config.scale = core::default_scale(config.dataset, full_scale_enabled());
-  if (flags.has("rounds")) config.scale.rounds = static_cast<int>(flags.get_long("rounds", 0));
   if (flags.has("devices")) {
-    config.scale.devices = static_cast<std::size_t>(flags.get_long("devices", 0));
+    spec.build.scale.devices = static_cast<std::size_t>(flags.get_long("devices", 0));
   }
-  config.partition.iid = flags.get_bool("iid", false);
-  config.partition.beta = flags.get_double("beta", 0.3);
+  spec.build.partition.iid = flags.get_bool("iid", false);
+  spec.build.partition.beta = flags.get_double("beta", 0.3);
   if (flags.has("heterogeneity")) {
-    config.fleet_kind = core::FleetKind::kRatio;
-    config.fleet_ratio_h = flags.get_double("heterogeneity", 10.0);
+    spec.build.fleet_kind = core::FleetKind::kRatio;
+    spec.build.fleet_ratio_h = flags.get_double("heterogeneity", 10.0);
   }
-  config.use_cnn = flags.get_bool("cnn", false);
-  config.seed = static_cast<std::uint64_t>(flags.get_long("seed", 1));
-  const auto experiment = core::build_experiment(config);
+  spec.build.use_cnn = flags.get_bool("cnn", false);
+  spec.with_seed(static_cast<std::uint64_t>(flags.get_long("seed", 1)));
 
-  core::FlOptions opts;
-  opts.lr = static_cast<float>(flags.get_double("lr", 0.1));
-  opts.local_epochs = static_cast<int>(flags.get_long("epochs", 5));
-  opts.batch_size = static_cast<int>(flags.get_long("batch", 50));
-  opts.participation = flags.get_double("participation", 1.0);
-  opts.clusters = static_cast<std::size_t>(flags.get_long("clusters", 10));
-  opts.momentum = static_cast<float>(flags.get_double("momentum", 0.0));
-  opts.ring_order = parse_ring_order(flags.get("ring-order", "small-to-large"));
-  opts.aggregation = parse_aggregation(flags.get("aggregation", "uniform"));
-  opts.seed = config.seed;
+  spec.method = flags.get("method", "FedHiSyn");
+  spec.opts.lr = static_cast<float>(flags.get_double("lr", 0.1));
+  spec.opts.local_epochs = static_cast<int>(flags.get_long("epochs", 5));
+  spec.opts.batch_size = static_cast<int>(flags.get_long("batch", 50));
+  spec.opts.participation = flags.get_double("participation", 1.0);
+  spec.opts.clusters = static_cast<std::size_t>(flags.get_long("clusters", 10));
+  spec.opts.momentum = static_cast<float>(flags.get_double("momentum", 0.0));
+  spec.opts.ring_order = parse_ring_order(flags.get("ring-order", "small-to-large"));
+  spec.opts.aggregation = parse_aggregation(flags.get("aggregation", "uniform"));
+  if (flags.has("target")) {
+    spec.target = static_cast<float>(flags.get_double("target", 0.5));
+  }
+  spec.eval_every = static_cast<int>(flags.get_long("eval-every", 1));
 
-  const std::string method = flags.get("method", "FedHiSyn");
-  auto algorithm = core::make_algorithm(method, experiment.context(opts));
-
-  const float target = flags.has("target")
-                           ? static_cast<float>(flags.get_double("target", 0.5))
-                           : core::target_accuracy(config.dataset);
-  core::ExperimentRunner runner(config.scale.rounds, target);
-  runner.set_eval_every(static_cast<int>(flags.get_long("eval-every", 1)));
-  const std::string partition_label =
-      config.partition.iid
-          ? std::string("IID")
-          : "Dirichlet(" + Table::fmt_f(config.partition.beta, 1) + ")";
   std::printf("%s on %s: %zu devices, %s partition, %.0f%% participation, %d rounds\n",
-              method.c_str(), config.dataset.c_str(), config.scale.devices,
-              partition_label.c_str(), opts.participation * 100.0, config.scale.rounds);
-  const auto result = runner.run(*algorithm);
+              spec.method.c_str(), spec.build.dataset.c_str(), spec.build.scale.devices,
+              spec.partition_label().c_str(), spec.opts.participation * 100.0,
+              spec.build.scale.rounds);
+
+  exp::CellHooks hooks;
+  std::vector<float> final_weights;
+  if (flags.has("save-model")) hooks.final_weights = &final_weights;
+  const auto cell = exp::run_cell(spec, hooks);
 
   Table history({"round", "accuracy", "comm (FedAvg rounds)", "d2d"});
-  for (const auto& record : result.history) {
+  for (const auto& record : cell.result.history) {
     history.add_row({Table::fmt_i(record.round), Table::fmt_pct(record.accuracy),
                      Table::fmt_f(record.comm_rounds, 1),
                      Table::fmt_f(record.d2d_transfers, 0)});
   }
   history.print();
   std::printf("final %.2f%%, best %.2f%%, target %.0f%%: %s\n",
-              result.final_accuracy * 100.0, result.best_accuracy * 100.0,
-              target * 100.0, result.table_cell().c_str());
+              cell.result.final_accuracy * 100.0, cell.result.best_accuracy * 100.0,
+              spec.resolved_target() * 100.0, cell.result.table_cell().c_str());
+  // Timing goes to stderr: stdout stays byte-identical across thread counts
+  // (the determinism check diffs it).
+  std::fprintf(stderr, "wall: %.1fs\n", cell.seconds);
 
+  if (!grid_options.out.empty()) {
+    exp::write_results(grid_options.out, {cell});
+    std::printf("result written to %s\n", grid_options.out.c_str());
+  }
   if (flags.has("history-csv")) {
     const std::string path = flags.get("history-csv", "");
     std::ofstream out(path);
@@ -149,9 +149,8 @@ int run_experiment(const fedhisyn::Flags& flags) {
   }
   if (flags.has("save-model")) {
     const std::string path = flags.get("save-model", "");
-    nn::save_weights(path, algorithm->global_weights());
-    std::printf("model written to %s (%zu params)\n", path.c_str(),
-                algorithm->global_weights().size());
+    nn::save_weights(path, final_weights);
+    std::printf("model written to %s (%zu params)\n", path.c_str(), final_weights.size());
   }
   return 0;
 }
