@@ -1,0 +1,35 @@
+// The GEMM shape sweep shared by bench_gemm_sweep (the BENCH_gemm.json
+// emitter the CI gate consumes) and bench_micro_substrate (the interactive
+// google-benchmark view).  One table so the two can never drift: dense-MLP
+// forward/backward at laptop and full batch, and the CNN im2col family
+// (forward, filter-gradient, column-gradient) at a paper-scale conv layer
+// (128 -> 64 channels, 3x3 kernel, 32x32 output: k = 128*3*3, n = 32*32).
+// cnn_im2col is the acceptance shape (k >= 256, n >= 256).
+//
+// Shape names are the keys of bench/baselines/BENCH_gemm.json — renaming or
+// removing one requires a baseline refresh (see README "Performance").
+#pragma once
+
+#include <cstdint>
+
+namespace fedhisyn::bench {
+
+enum class GemmVariant { kNN, kNT, kTN };
+
+struct GemmShape {
+  const char* name;
+  GemmVariant variant;
+  std::int64_t m, k, n;
+};
+
+inline constexpr GemmShape kGemmSweepShapes[] = {
+    {"mlp_fwd", GemmVariant::kNN, 50, 64, 200},
+    {"mlp_fwd_big", GemmVariant::kNN, 256, 64, 200},
+    {"mlp_bwd_dw", GemmVariant::kTN, 64, 256, 200},
+    {"mlp_bwd_dx", GemmVariant::kNT, 256, 200, 64},
+    {"cnn_im2col", GemmVariant::kNN, 64, 1152, 1024},
+    {"cnn_dfilters", GemmVariant::kNT, 64, 1024, 1152},
+    {"cnn_dcols", GemmVariant::kTN, 1152, 64, 1024},
+};
+
+}  // namespace fedhisyn::bench

@@ -1,0 +1,248 @@
+// GEMM shape sweep: times the blocked/packed kernels (tensor/gemm.hpp)
+// against a serial per-row reference (the pre-blocking kernel) over the
+// dense-MLP and CNN-im2col shapes that dominate Table 1 / fig6 / fig7
+// runtime, and emits machine-readable BENCH_gemm.json.
+//
+// Unlike bench_micro_substrate this needs no google-benchmark, so CI can
+// always build it; tools/bench_gate.py consumes the JSON and fails the
+// bench-regression job when a shape regresses against bench/baselines/.
+//
+// The gate metric is `speedup_st` = reference-serial time / blocked time on
+// a 1-thread pool: a same-machine ratio, so it transfers across runner
+// hardware where raw GFLOP/s would not.  `blk_mt_ms` / `parallel_scaling`
+// are informational (pool size = --threads / FEDHISYN_THREADS).
+//
+//   ./bench_gemm_sweep --out BENCH_gemm.json [--min-time-ms 200] [--threads N]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "gemm_shapes.hpp"
+#include "tensor/gemm.hpp"
+
+namespace {
+
+using namespace fedhisyn;
+using bench::GemmShape;
+using Variant = bench::GemmVariant;
+
+// Shape table shared with bench_micro_substrate: bench/gemm_shapes.hpp.
+constexpr auto& kShapes = bench::kGemmSweepShapes;
+
+// The pre-blocking per-row kernels, kept verbatim as the measurement
+// reference (serial; the old `a == 0` skip never fires on the random
+// operands so it is omitted).
+void reference_gemm(const float* a, const float* b, float* c, std::int64_t m,
+                    std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* ci = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) ci[j] = 0.0f;
+    const float* ai = a + i * k;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float aip = ai[p];
+      const float* bp = b + p * n;
+      for (std::int64_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+    }
+  }
+}
+
+void reference_gemm_nt(const float* a, const float* b, float* c, std::int64_t m,
+                       std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* ai = a + i * k;
+    float* ci = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* bj = b + j * k;
+      float acc = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+      ci[j] = acc;
+    }
+  }
+}
+
+void reference_gemm_tn(const float* a, const float* b, float* c, std::int64_t m,
+                       std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* ci = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) ci[j] = 0.0f;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float api = a[p * m + i];
+      const float* bp = b + p * n;
+      for (std::int64_t j = 0; j < n; ++j) ci[j] += api * bp[j];
+    }
+  }
+}
+
+struct Operands {
+  std::vector<float> a, b, c;
+};
+
+Operands make_operands(const GemmShape& s) {
+  Operands ops;
+  const std::int64_t a_size = s.m * s.k;  // kTN stores (k x m): same count
+  const std::int64_t b_size = s.k * s.n;  // kNT stores (n x k): same count
+  ops.a.resize(static_cast<std::size_t>(a_size));
+  ops.b.resize(static_cast<std::size_t>(b_size));
+  ops.c.resize(static_cast<std::size_t>(s.m * s.n));
+  Rng rng(static_cast<std::uint64_t>(1000 + a_size + b_size));
+  for (auto& x : ops.a) x = static_cast<float>(rng.normal());
+  for (auto& x : ops.b) x = static_cast<float>(rng.normal());
+  return ops;
+}
+
+/// Best-of timing: run `fn` repeatedly until `min_time_ms` of total wall
+/// clock accumulates (at least 3 runs), return the fastest single run in ms.
+template <typename Fn>
+double time_best_ms(double min_time_ms, const Fn& fn) {
+  using clock = std::chrono::steady_clock;
+  fn();  // warm-up: pages, pack-buffer growth, branch predictors
+  double best = 1e30;
+  double total = 0.0;
+  int runs = 0;
+  while (total < min_time_ms || runs < 3) {
+    const auto start = clock::now();
+    fn();
+    const double ms =
+        std::chrono::duration<double, std::milli>(clock::now() - start).count();
+    best = std::min(best, ms);
+    total += ms;
+    ++runs;
+  }
+  return best;
+}
+
+void run_blocked(const GemmShape& s, Operands& ops) {
+  switch (s.variant) {
+    case Variant::kNN:
+      gemm(ops.a, ops.b, ops.c, s.m, s.k, s.n);
+      break;
+    case Variant::kNT:
+      gemm_nt(ops.a, ops.b, ops.c, s.m, s.k, s.n);
+      break;
+    case Variant::kTN:
+      gemm_tn(ops.a, ops.b, ops.c, s.m, s.k, s.n);
+      break;
+  }
+}
+
+void run_reference(const GemmShape& s, Operands& ops) {
+  switch (s.variant) {
+    case Variant::kNN:
+      reference_gemm(ops.a.data(), ops.b.data(), ops.c.data(), s.m, s.k, s.n);
+      break;
+    case Variant::kNT:
+      reference_gemm_nt(ops.a.data(), ops.b.data(), ops.c.data(), s.m, s.k, s.n);
+      break;
+    case Variant::kTN:
+      reference_gemm_tn(ops.a.data(), ops.b.data(), ops.c.data(), s.m, s.k, s.n);
+      break;
+  }
+}
+
+const char* variant_name(Variant v) {
+  switch (v) {
+    case Variant::kNN: return "nn";
+    case Variant::kNT: return "nt";
+    case Variant::kTN: return "tn";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_gemm.json";
+  double min_time_ms = 200.0;
+  std::size_t threads = ParallelExecutor::threads_from_env();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--min-time-ms") {
+      min_time_ms = std::atof(next());
+    } else if (arg == "--threads") {
+      threads = static_cast<std::size_t>(std::atol(next()));
+    } else {
+      std::cerr << "usage: bench_gemm_sweep [--out FILE] [--min-time-ms MS] "
+                   "[--threads N]\n";
+      return arg == "--help" ? 0 : 2;
+    }
+  }
+  if (threads < 1) threads = 1;
+
+  ParallelExecutor pool_st(1);
+  ParallelExecutor pool_mt(threads);
+
+  std::string json;
+  json += "{\n  \"schema\": \"fedhisyn-gemm-sweep/1\",\n";
+  json += "  \"threads\": " + std::to_string(threads) + ",\n";
+  json += "  \"min_time_ms\": " + std::to_string(min_time_ms) + ",\n";
+  json += "  \"shapes\": [\n";
+
+  bool first = true;
+  for (const GemmShape& s : kShapes) {
+    Operands ops = make_operands(s);
+    const double flops = 2.0 * static_cast<double>(s.m) *
+                         static_cast<double>(s.k) * static_cast<double>(s.n);
+
+    const double ref_st_ms =
+        time_best_ms(min_time_ms, [&] { run_reference(s, ops); });
+    double blk_st_ms = 0.0;
+    {
+      ParallelExecutor::Bind bind(pool_st);
+      blk_st_ms = time_best_ms(min_time_ms, [&] { run_blocked(s, ops); });
+    }
+    double blk_mt_ms = 0.0;
+    {
+      ParallelExecutor::Bind bind(pool_mt);
+      blk_mt_ms = time_best_ms(min_time_ms, [&] { run_blocked(s, ops); });
+    }
+
+    const double speedup_st = ref_st_ms / blk_st_ms;
+    const double scaling = blk_st_ms / blk_mt_ms;
+    char line[512];
+    std::snprintf(
+        line, sizeof(line),
+        "    {\"name\": \"%s\", \"variant\": \"%s\", \"m\": %lld, \"k\": %lld, "
+        "\"n\": %lld, \"ref_st_ms\": %.4f, \"blk_st_ms\": %.4f, "
+        "\"blk_mt_ms\": %.4f, \"blk_st_gflops\": %.2f, \"blk_mt_gflops\": %.2f, "
+        "\"speedup_st\": %.3f, \"parallel_scaling\": %.3f}",
+        s.name, variant_name(s.variant), static_cast<long long>(s.m),
+        static_cast<long long>(s.k), static_cast<long long>(s.n), ref_st_ms,
+        blk_st_ms, blk_mt_ms, flops / (blk_st_ms * 1e6),
+        flops / (blk_mt_ms * 1e6), speedup_st, scaling);
+    if (!first) json += ",\n";
+    first = false;
+    json += line;
+    std::fprintf(stderr, "%-14s %4lldx%4lldx%4lld  ref %8.3f ms  blocked %8.3f ms  "
+                 "speedup %5.2fx  mt(%zu) %8.3f ms\n",
+                 s.name, static_cast<long long>(s.m), static_cast<long long>(s.k),
+                 static_cast<long long>(s.n), ref_st_ms, blk_st_ms, speedup_st,
+                 threads, blk_mt_ms);
+  }
+  json += "\n  ]\n}\n";
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << json;
+  std::cout << out_path << std::endl;
+  return 0;
+}

@@ -4,8 +4,11 @@
 // regressions in the simulator's hot loops are visible.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "gemm_shapes.hpp"
 #include "core/factory.hpp"
 #include "core/fedhisyn_algo.hpp"
 #include "core/presets.hpp"
@@ -32,6 +35,38 @@ void BM_GemmMlpForward(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * batch * 64 * 200);
 }
 BENCHMARK(BM_GemmMlpForward)->Arg(10)->Arg(50)->Arg(256);
+
+// GEMM shape sweep over the blocked kernels, registered from the shared
+// table in bench/gemm_shapes.hpp — the same shapes bench_gemm_sweep (the
+// BENCH_gemm.json emitter the CI gate consumes) measures, so this
+// interactive google-benchmark view cannot drift from the gated numbers.
+void BM_GemmSweep(benchmark::State& state, const bench::GemmShape& s) {
+  Rng rng(static_cast<std::uint64_t>(1000 + s.m * s.k + s.k * s.n));
+  std::vector<float> a(static_cast<std::size_t>(s.m * s.k));
+  std::vector<float> b(static_cast<std::size_t>(s.k * s.n));
+  std::vector<float> c(static_cast<std::size_t>(s.m * s.n));
+  for (auto& x : a) x = static_cast<float>(rng.normal());
+  for (auto& x : b) x = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    switch (s.variant) {
+      case bench::GemmVariant::kNN: gemm(a, b, c, s.m, s.k, s.n); break;
+      case bench::GemmVariant::kNT: gemm_nt(a, b, c, s.m, s.k, s.n); break;
+      case bench::GemmVariant::kTN: gemm_tn(a, b, c, s.m, s.k, s.n); break;
+    }
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * s.m * s.k * s.n);  // flops
+}
+
+const int kGemmSweepRegistered = [] {
+  for (const bench::GemmShape& s : bench::kGemmSweepShapes) {
+    benchmark::RegisterBenchmark((std::string("BM_GemmSweep/") + s.name).c_str(),
+                                 [&s](benchmark::State& state) {
+                                   BM_GemmSweep(state, s);
+                                 });
+  }
+  return 0;
+}();
 
 void BM_MlpTrainStep(benchmark::State& state) {
   const auto net = nn::make_mlp(64, 10);

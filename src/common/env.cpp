@@ -18,4 +18,20 @@ long env_long(const std::string& name, long fallback) {
   return parsed;
 }
 
+GemmTune gemm_tune_from_env() {
+  GemmTune tune;
+  const char* value = std::getenv("FEDHISYN_GEMM_TUNE");
+  if (value == nullptr) return tune;
+  char* end = nullptr;
+  const long nc = std::strtol(value, &end, 10);
+  if (end == value || nc <= 0) return tune;
+  tune.nc = nc;
+  if (*end == 'x' || *end == 'X' || *end == ':') {
+    const char* rest = end + 1;
+    const long rows = std::strtol(rest, &end, 10);
+    if (end != rest && rows > 0) tune.rows = rows;
+  }
+  return tune;
+}
+
 }  // namespace fedhisyn

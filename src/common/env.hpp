@@ -1,8 +1,14 @@
 // Environment-variable helpers shared by the bench harnesses.
 //
 // Knobs recognised across the library:
-//   FEDHISYN_FULL=1     paper-scale experiment sizes (see presets.hpp)
-//   FEDHISYN_THREADS=N  worker-pool size (see common/parallel.hpp)
+//   FEDHISYN_FULL=1          paper-scale experiment sizes (see presets.hpp)
+//   FEDHISYN_THREADS=N       worker-pool size (see common/parallel.hpp)
+//   FEDHISYN_GEMM_TUNE=NC[xROWS]
+//                            blocked-GEMM tile sizes (see tensor/gemm.cpp):
+//                            NC = column-panel width, ROWS = rows per parallel
+//                            task.  Tuning changes scheduling and pack-buffer
+//                            shapes only, never the per-element reduction
+//                            order, so results stay bit-identical.
 #pragma once
 
 #include <string>
@@ -15,5 +21,16 @@ bool full_scale_enabled();
 
 /// Integer env var with default (returns `fallback` when unset/invalid).
 long env_long(const std::string& name, long fallback);
+
+/// Blocked-GEMM tiling knobs.  Zero fields mean "use the kernel's default";
+/// the kernel clamps and rounds to micro-tile multiples.
+struct GemmTune {
+  long nc = 0;    // column-panel width (rounded up to the register tile width)
+  long rows = 0;  // rows per parallel task (rounded up to the register tile height)
+};
+
+/// Parse FEDHISYN_GEMM_TUNE ("NC" or "NCxROWS", e.g. "256x8").  Unset or
+/// malformed fields come back as 0 (kernel default).
+GemmTune gemm_tune_from_env();
 
 }  // namespace fedhisyn

@@ -1,5 +1,6 @@
 #include "common/parallel.hpp"
 
+#include <new>
 #include <stdexcept>
 
 #include "common/env.hpp"
@@ -10,7 +11,36 @@ namespace {
 thread_local bool tl_in_parallel = false;
 thread_local std::size_t tl_slot = 0;
 thread_local ParallelExecutor* tl_current = nullptr;
+
+struct AlignedScratch {
+  float* data = nullptr;
+  std::size_t capacity = 0;
+
+  ~AlignedScratch() {
+    ::operator delete[](data, std::align_val_t{64});
+  }
+
+  float* grow_to(std::size_t floats) {
+    if (capacity < floats) {
+      ::operator delete[](data, std::align_val_t{64});
+      // Grow by at least 1.5x so a sequence of slightly-larger requests
+      // (conv layers of increasing size) settles quickly.
+      std::size_t next = capacity + capacity / 2;
+      if (next < floats) next = floats;
+      data = static_cast<float*>(
+          ::operator new[](next * sizeof(float), std::align_val_t{64}));
+      capacity = next;
+    }
+    return data;
+  }
+};
+
+thread_local AlignedScratch tl_scratch[ScratchArena::kBufferCount];
 }  // namespace
+
+std::span<float> ScratchArena::buffer(Buf which, std::size_t floats) {
+  return {tl_scratch[which].grow_to(floats), floats};
+}
 
 ParallelExecutor::ParallelExecutor(std::size_t threads) {
   start_workers(threads == 0 ? threads_from_env() : threads);

@@ -26,10 +26,36 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
 namespace fedhisyn {
+
+/// Thread-local aligned scratch buffers for the hot kernels (GEMM panel
+/// packing, conv im2col columns).  Buffers live for the thread's lifetime and
+/// grow monotonically, so steady-state kernel calls never allocate.
+///
+/// Each named buffer is independent: a kernel may hold several live at once
+/// (conv holds its column buffers while the nested GEMM packs panels).  A
+/// buffer's contents are invalidated by the next `buffer()` call for the same
+/// name on the same thread — borrow, fill, use, and don't stash the span.
+/// Being thread-local, the arena needs no locking and composes with nested
+/// pools (grid cells binding private executors) for free.
+class ScratchArena {
+ public:
+  enum Buf : std::size_t {
+    kGemmPackA = 0,       // packed A row strip (k x MR, zero-padded)
+    kGemmPackB = 1,       // packed B column panel (k x NC, zero-padded)
+    kConvColumns = 2,     // im2col column matrix
+    kConvGradColumns = 3, // conv backward column-gradient matrix
+    kBufferCount = 4,
+  };
+
+  /// The calling thread's buffer `which`, grown to hold >= `floats` floats,
+  /// 64-byte aligned.  Contents of a freshly grown buffer are unspecified.
+  static std::span<float> buffer(Buf which, std::size_t floats);
+};
 
 class ParallelExecutor {
  public:

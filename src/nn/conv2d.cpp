@@ -1,7 +1,6 @@
 #include "nn/conv2d.hpp"
 
 #include <cmath>
-#include <vector>
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
@@ -66,11 +65,12 @@ void Conv2d::forward(const Shape3& in, std::span<const float> params, const Tens
                                    static_cast<std::size_t>(out_channels_));
 
   auto& pool = ParallelExecutor::current();
-  std::vector<std::vector<float>> columns(pool.thread_count());
-  pool.parallel_for(static_cast<std::size_t>(batch), [&](std::size_t bi, std::size_t slot) {
+  pool.parallel_for(static_cast<std::size_t>(batch), [&](std::size_t bi, std::size_t) {
     const auto b = static_cast<std::int64_t>(bi);
-    auto& my_columns = columns[slot];
-    my_columns.resize(static_cast<std::size_t>(col_rows * col_cols));
+    // Thread-local arena scratch: reused across batches, layers and calls
+    // (the nested GEMM's pack buffers are separate arena slots).
+    auto my_columns = ScratchArena::buffer(
+        ScratchArena::kConvColumns, static_cast<std::size_t>(col_rows * col_cols));
     im2col(x.row(b), g, my_columns);
     auto out_row = y.row(b);
     // out[oc, pix] = filters[oc, :] * columns[:, pix]
@@ -103,9 +103,13 @@ void Conv2d::backward(const Shape3& in, std::span<const float> params, const Ten
   grad_in.fill(0.0f);
 
   // Serial over the batch: grad_filters accumulation must stay deterministic
-  // (fixed order) and race-free; batch sizes here are small.
-  std::vector<float> columns(static_cast<std::size_t>(col_rows * col_cols));
-  std::vector<float> grad_columns(static_cast<std::size_t>(col_rows * col_cols));
+  // (fixed order) and race-free; batch sizes here are small.  The nested
+  // GEMMs still fan out over the pool (they are top-level here).
+  auto columns = ScratchArena::buffer(
+      ScratchArena::kConvColumns, static_cast<std::size_t>(col_rows * col_cols));
+  auto grad_columns = ScratchArena::buffer(
+      ScratchArena::kConvGradColumns,
+      static_cast<std::size_t>(col_rows * col_cols));
   for (std::int64_t b = 0; b < batch; ++b) {
     im2col(x.row(b), g, columns);
     const auto go_row = grad_out.row(b);

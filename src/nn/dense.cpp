@@ -57,7 +57,9 @@ void Dense::backward(const Shape3& in, std::span<const float> params, const Tens
   auto grad_b = grad_params.subspan(static_cast<std::size_t>(fan_in * units_),
                                     static_cast<std::size_t>(units_));
 
-  // dW[in, out] += x^T(batch, in) * grad_out(batch, out)
+  // dW[in, out] += x^T(batch, in) * grad_out(batch, out).  m = fan_in here,
+  // so the blocked kernel's 2-D tiling (not row-parallelism) is what spreads
+  // this tall-skinny shape over the pool.
   gemm_tn(x.span(), grad_out.span(), grad_w, fan_in, batch, units_, /*beta=*/1.0f);
   // db += column sums of grad_out
   for (std::int64_t b = 0; b < batch; ++b) {

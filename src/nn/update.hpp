@@ -4,6 +4,10 @@
 //   prox_sgd_step  — FedProx: adds mu * (w - w_anchor) to the gradient
 //   scaffold_step  — SCAFFOLD: corrects the gradient with control variates
 //                    (g - c_local + c_global)
+//
+// Paper-scale models chunk the elementwise loops over the ParallelExecutor
+// pool (inline inside an outer parallel region); every index is independent,
+// so results are bit-identical for any thread count.
 #pragma once
 
 #include <span>

@@ -1,10 +1,18 @@
 // Single-precision GEMM kernels used by the dense and convolution layers.
 //
-// C (MxN) += / = op(A) * op(B).  Row-major, parallelised over output rows on
-// the ParallelExecutor pool (inline when already inside a parallel region),
-// blocked over K for cache locality.  Not a BLAS replacement — sized for the
-// small models the FL simulation trains — but kernels are verified against a
-// naive reference in tests/tensor_test.cpp.
+// C (MxN) += / = op(A) * op(B).  Row-major.  Large shapes run a blocked,
+// packed kernel (see gemm.cpp): C is tiled over a 2-D (row strip x column
+// panel) grid that the ParallelExecutor pool fans out over (inline when
+// already inside a parallel region), A/B panels are packed into per-thread
+// aligned scratch, and a kMRxkNR register micro-kernel does the arithmetic.
+// Tiny shapes take a simple row kernel with the identical reduction order.
+//
+// Determinism: i/j are blocked but k never is — every C element accumulates
+// its k terms in ascending order, so results are bit-identical across thread
+// counts, tile tunings (FEDHISYN_GEMM_TUNE=NC[xROWS], see common/env.hpp)
+// and dispatch paths.  Not a BLAS replacement — sized for the models the FL
+// simulation trains — but verified against an order-exact reference in
+// tests/tensor_test.cpp and swept in bench/gemm_sweep.cpp.
 #pragma once
 
 #include <cstdint>

@@ -1,5 +1,8 @@
 #include "tensor/im2col.hpp"
 
+#include <algorithm>
+#include <cstring>
+
 #include "common/check.hpp"
 
 namespace fedhisyn {
@@ -14,6 +17,30 @@ void im2col(std::span<const float> image, const ConvGeometry& g, std::span<float
     for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
       for (std::int64_t kx = 0; kx < g.kernel; ++kx, ++row) {
         float* out_row = columns.data() + row * (oh * ow);
+        if (g.stride == 1) {
+          // Stride 1: for a fixed (ky, kx) the source pixels of one output
+          // row are contiguous, so the interior is a memcpy and only the
+          // padding border needs element work.  x maps to sx = x + kx - pad;
+          // the in-bounds x range is [x_lo, x_hi).
+          const std::int64_t x_lo = std::max<std::int64_t>(0, g.padding - kx);
+          const std::int64_t x_hi =
+              std::min<std::int64_t>(ow, g.width + g.padding - kx);
+          for (std::int64_t y = 0; y < oh; ++y) {
+            float* out = out_row + y * ow;
+            const std::int64_t sy = y + ky - g.padding;
+            if (sy < 0 || sy >= g.height || x_lo >= x_hi) {
+              std::fill(out, out + ow, 0.0f);
+              continue;
+            }
+            std::fill(out, out + x_lo, 0.0f);
+            const float* src =
+                image.data() + (c * g.height + sy) * g.width + (x_lo + kx - g.padding);
+            std::memcpy(out + x_lo, src,
+                        static_cast<std::size_t>(x_hi - x_lo) * sizeof(float));
+            std::fill(out + x_hi, out + ow, 0.0f);
+          }
+          continue;
+        }
         for (std::int64_t y = 0; y < oh; ++y) {
           const std::int64_t sy = y * g.stride + ky - g.padding;
           for (std::int64_t x = 0; x < ow; ++x) {

@@ -1,6 +1,8 @@
 // im2col / col2im for the convolution layer.  Layout: input [C,H,W] row-major
 // per sample; column matrix is [C*KH*KW, OH*OW] so conv becomes a GEMM with
-// the [OC, C*KH*KW] filter matrix.
+// the [OC, C*KH*KW] filter matrix (the wide-N shape the blocked kernel in
+// tensor/gemm.hpp tiles over column panels).  Stride-1 geometries take a
+// memcpy fast path for the interior; values are identical either way.
 #pragma once
 
 #include <cstdint>

@@ -1,11 +1,16 @@
-// Unit tests for src/tensor: GEMM kernels against a naive reference,
-// softmax/xent numerics, im2col/col2im adjointness, elementwise ops.
+// Unit tests for src/tensor: GEMM kernels against a naive reference and an
+// order-exact reference (exact float equality — the blocked kernel must
+// preserve the per-element reduction order), softmax/xent numerics,
+// im2col/col2im adjointness, elementwise ops.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <tuple>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/im2col.hpp"
@@ -128,6 +133,174 @@ TEST(Gemm, TransposedVariantsAgreeWithExplicitTranspose) {
   std::vector<float> ref2(static_cast<std::size_t>(m * n));
   naive_gemm(a2t, b2, ref2, m, k, n);
   for (std::size_t i = 0; i < ref2.size(); ++i) EXPECT_NEAR(c2[i], ref2[i], 1e-4f);
+}
+
+// --- order-exact references --------------------------------------------------
+// Same per-element float arithmetic as the kernels, spelled naively: k terms
+// in ascending order; gemm/gemm_tn start from the beta-applied C value,
+// gemm_nt accumulates from zero and applies beta at the store.  The blocked,
+// simple and parallel paths must all reproduce these bits exactly.
+
+void exact_gemm(const std::vector<float>& a, const std::vector<float>& b,
+                std::vector<float>& c, std::int64_t m, std::int64_t k,
+                std::int64_t n, float beta) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      float acc = beta == 0.0f ? 0.0f
+                  : beta == 1.0f ? c[static_cast<std::size_t>(i * n + j)]
+                                 : beta * c[static_cast<std::size_t>(i * n + j)];
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += a[static_cast<std::size_t>(i * k + p)] *
+               b[static_cast<std::size_t>(p * n + j)];
+      }
+      c[static_cast<std::size_t>(i * n + j)] = acc;
+    }
+  }
+}
+
+void exact_gemm_nt(const std::vector<float>& a, const std::vector<float>& b,
+                   std::vector<float>& c, std::int64_t m, std::int64_t k,
+                   std::int64_t n, float beta) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += a[static_cast<std::size_t>(i * k + p)] *
+               b[static_cast<std::size_t>(j * k + p)];
+      }
+      float& cij = c[static_cast<std::size_t>(i * n + j)];
+      cij = (beta == 0.0f ? 0.0f : beta * cij) + acc;
+    }
+  }
+}
+
+void exact_gemm_tn(const std::vector<float>& a, const std::vector<float>& b,
+                   std::vector<float>& c, std::int64_t m, std::int64_t k,
+                   std::int64_t n, float beta) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      float acc = beta == 0.0f ? 0.0f
+                  : beta == 1.0f ? c[static_cast<std::size_t>(i * n + j)]
+                                 : beta * c[static_cast<std::size_t>(i * n + j)];
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += a[static_cast<std::size_t>(p * m + i)] *
+               b[static_cast<std::size_t>(p * n + j)];
+      }
+      c[static_cast<std::size_t>(i * n + j)] = acc;
+    }
+  }
+}
+
+// Run all three kernel variants on one shape and demand exact float equality
+// with the order-exact references.  C starts from the same random contents on
+// both sides so beta accumulation is exercised for real.
+void expect_all_variants_exact(std::int64_t m, std::int64_t k, std::int64_t n,
+                               float beta, Rng& rng) {
+  SCOPED_TRACE(::testing::Message()
+               << "m=" << m << " k=" << k << " n=" << n << " beta=" << beta);
+  const auto a = random_vec(static_cast<std::size_t>(m * k), rng);
+  const auto b = random_vec(static_cast<std::size_t>(k * n), rng);
+  const auto c0 = random_vec(static_cast<std::size_t>(m * n), rng);
+  const auto a_t = random_vec(static_cast<std::size_t>(k * m), rng);   // (k x m)
+  const auto b_t = random_vec(static_cast<std::size_t>(n * k), rng);   // (n x k)
+
+  auto c = c0;
+  auto ref = c0;
+  gemm(a, b, c, m, k, n, beta);
+  exact_gemm(a, b, ref, m, k, n, beta);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_EQ(c[i], ref[i]) << "gemm at " << i;
+  }
+
+  c = c0;
+  ref = c0;
+  gemm_nt(a, b_t, c, m, k, n, beta);
+  exact_gemm_nt(a, b_t, ref, m, k, n, beta);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_EQ(c[i], ref[i]) << "gemm_nt at " << i;
+  }
+
+  c = c0;
+  ref = c0;
+  gemm_tn(a_t, b, c, m, k, n, beta);
+  exact_gemm_tn(a_t, b, ref, m, k, n, beta);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_EQ(c[i], ref[i]) << "gemm_tn at " << i;
+  }
+}
+
+class GemmExactShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmExactShapes, AllVariantsAllBetasMatchOrderExactReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(4000 + m * 131 + k * 17 + n);
+  for (const float beta : {0.0f, 1.0f, 0.5f}) {
+    expect_all_variants_exact(m, k, n, beta, rng);
+  }
+}
+
+// Adversarial shapes for the blocked kernel: degenerate m/n/k of 1, sizes
+// straddling the register tile (4x8), the row-strip (8), and the column
+// panel (512, via n = 520), plus a flop count large enough to cross the
+// simple-path cutoff and dispatch the pool.
+INSTANTIATE_TEST_SUITE_P(EdgeShapes, GemmExactShapes,
+                         ::testing::Values(std::make_tuple(1, 1, 1),
+                                           std::make_tuple(1, 300, 1),
+                                           std::make_tuple(1, 37, 300),
+                                           std::make_tuple(300, 37, 1),
+                                           std::make_tuple(3, 5, 7),
+                                           std::make_tuple(4, 64, 8),
+                                           std::make_tuple(5, 64, 9),
+                                           std::make_tuple(7, 129, 15),
+                                           std::make_tuple(9, 33, 130),
+                                           std::make_tuple(33, 70, 520),
+                                           std::make_tuple(64, 256, 96)));
+
+TEST(GemmExact, ExactZeroOperandsTakeNoShortcut) {
+  // The old kernel skipped k terms where a == 0.0f; the blocked kernel must
+  // not (data-dependent timing, and +-0 terms still participate in rounding).
+  // ReLU-style inputs: half the A entries exactly zero, B signed.
+  Rng rng(99);
+  const std::int64_t m = 19;
+  const std::int64_t k = 83;
+  const std::int64_t n = 41;
+  auto a = random_vec(static_cast<std::size_t>(m * k), rng);
+  for (std::size_t i = 0; i < a.size(); i += 2) a[i] = 0.0f;
+  const auto b = random_vec(static_cast<std::size_t>(k * n), rng);
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  std::vector<float> ref(static_cast<std::size_t>(m * n));
+  gemm(a, b, c, m, k, n);
+  exact_gemm(a, b, ref, m, k, n, 0.0f);
+  for (std::size_t i = 0; i < ref.size(); ++i) ASSERT_EQ(c[i], ref[i]) << i;
+}
+
+TEST(GemmExact, BitIdenticalAcrossThreadCounts) {
+  // Serial pool vs 8-thread pool on a shape big enough to fan out over 2-D
+  // tiles: the k-reduction order is fixed, so the bytes must match exactly.
+  Rng rng(123);
+  const std::int64_t m = 45;
+  const std::int64_t k = 300;
+  const std::int64_t n = 530;  // two column panels, edge in both dimensions
+  const auto a = random_vec(static_cast<std::size_t>(m * k), rng);
+  const auto b = random_vec(static_cast<std::size_t>(k * n), rng);
+  const auto b_t = random_vec(static_cast<std::size_t>(n * k), rng);
+  const auto a_t = random_vec(static_cast<std::size_t>(k * m), rng);
+  std::vector<float> serial(static_cast<std::size_t>(m * n));
+  std::vector<float> pooled(static_cast<std::size_t>(m * n));
+
+  ParallelExecutor pool1(1);
+  ParallelExecutor pool8(8);
+  const auto run_all = [&](ParallelExecutor& pool, std::vector<float>& c) {
+    ParallelExecutor::Bind bind(pool);
+    gemm(a, b, c, m, k, n);
+    gemm_nt(a, b_t, c, m, k, n, /*beta=*/1.0f);
+    gemm_tn(a_t, b, c, m, k, n, /*beta=*/0.5f);
+  };
+  run_all(pool1, serial);
+  run_all(pool8, pooled);
+  ASSERT_EQ(0, std::memcmp(serial.data(), pooled.data(),
+                           serial.size() * sizeof(float)));
 }
 
 TEST(Ops, AxpyScaleCopyDot) {
