@@ -1,6 +1,7 @@
 #include "common/env.hpp"
 
 #include <cstdlib>
+#include <cstring>
 
 namespace fedhisyn {
 
@@ -16,6 +17,13 @@ long env_long(const std::string& name, long fallback) {
   const long parsed = std::strtol(value, &end, 10);
   if (end == value) return fallback;
   return parsed;
+}
+
+bool speculate_from_env() {
+  const char* value = std::getenv("FEDHISYN_SPECULATE");
+  if (value == nullptr) return true;
+  return !(std::strcmp(value, "0") == 0 || std::strcmp(value, "off") == 0 ||
+           std::strcmp(value, "false") == 0);
 }
 
 GemmTune gemm_tune_from_env() {

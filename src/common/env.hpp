@@ -3,6 +3,11 @@
 // Knobs recognised across the library:
 //   FEDHISYN_FULL=1          paper-scale experiment sizes (see presets.hpp)
 //   FEDHISYN_THREADS=N       worker-pool size (see common/parallel.hpp)
+//   FEDHISYN_SPECULATE=0|off run event-driven async rounds as the legacy
+//                            serial drain instead of the overlapped
+//                            speculative RoundGraph schedule (results are
+//                            byte-identical either way; see
+//                            core/round_graph.hpp).  Default: on.
 //   FEDHISYN_GEMM_TUNE=NC[xROWS]
 //                            blocked-GEMM tile sizes (see tensor/gemm.cpp):
 //                            NC = column-panel width, ROWS = rows per parallel
@@ -21,6 +26,10 @@ bool full_scale_enabled();
 
 /// Integer env var with default (returns `fallback` when unset/invalid).
 long env_long(const std::string& name, long fallback);
+
+/// FEDHISYN_SPECULATE: false when set to "0", "off" or "false", true
+/// otherwise (including unset) — speculative round execution is the default.
+bool speculate_from_env();
 
 /// Blocked-GEMM tiling knobs.  Zero fields mean "use the kernel's default";
 /// the kernel clamps and rounds to micro-tile multiples.

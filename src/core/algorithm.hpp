@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -11,6 +12,7 @@
 
 #include "common/rng.hpp"
 #include "core/options.hpp"
+#include "core/round_graph.hpp"
 #include "core/trainer.hpp"
 #include "nn/network.hpp"
 #include "sim/comm.hpp"
@@ -42,6 +44,12 @@ class FlAlgorithm {
   const FlContext& context() const { return ctx_; }
   int rounds_completed() const { return rounds_completed_; }
 
+  /// Execution statistics of the most recent RoundGraph-driven round (the
+  /// event-driven async methods).  Zero-initialised for methods that do not
+  /// run on the graph engine.  Stats are informational — they may vary with
+  /// opts.speculate and the thread count even though results never do.
+  const RoundGraphStats& last_round_stats() const { return last_round_stats_; }
+
  protected:
   /// Virtual duration of one round: the slowest fleet device's local-training
   /// job (paper §6.1's definition of a round).
@@ -54,32 +62,29 @@ class FlAlgorithm {
   /// different methods never share streams.
   Rng job_stream(std::uint64_t round_mult, std::uint64_t device_mult,
                  std::size_t device, std::uint64_t sequence) const;
+  /// The seed behind job_stream, for jobs recorded in a RoundGraph.
+  std::uint64_t job_stream_seed(std::uint64_t round_mult, std::uint64_t device_mult,
+                                std::size_t device, std::uint64_t sequence) const;
 
-  /// For the fully-asynchronous baselines: schedule each participant's first
-  /// job that fits `interval` on `queue` (in participants order, mirroring
-  /// the queue's schedule-sequence stamping) and pre-train those jobs in
-  /// parallel — they all start from the round-start snapshots in `working`,
-  /// so completion order cannot affect them.  Returns per-device flags the
-  /// caller's event loop consumes: the first completion of a flagged device
-  /// is already trained.  Later jobs (re-downloads of the serially-mixed
-  /// global model) must stay in event order.
-  std::vector<std::uint8_t> pretrain_first_wave(
-      sim::EventQueue& queue, std::vector<std::vector<float>>& working,
-      const std::vector<std::size_t>& participants, double interval, int epochs,
-      std::uint64_t round_mult, std::uint64_t device_mult);
-
-  /// Event-loop counterpart of pretrain_first_wave: consume the device's
-  /// pre-trained first job, or train a later job serially in event order
-  /// with the (round, device, sequence)-keyed stream.
-  void train_event_job(std::size_t device, std::uint64_t sequence,
-                       std::vector<std::vector<float>>& working, int epochs,
-                       std::uint64_t round_mult, std::uint64_t device_mult,
-                       std::vector<std::uint8_t>& pretrained);
+  /// One round of the fully-asynchronous server protocol shared by TAFedAvg
+  /// and FedAsync: every participant loops download-train-upload inside the
+  /// round interval, and the server mixes each upload into the global model
+  /// the moment it arrives.  The round's event timeline is replayed
+  /// symbolically (durations depend only on the fleet profile), compiled
+  /// into a RoundGraph whose serial commit chain carries the server mixes,
+  /// and executed per opts.speculate — overlapped + speculative, or the
+  /// legacy serial drain; both produce byte-identical models.
+  /// `mix_alpha(staleness)` is the server mixing rate for an upload whose
+  /// download happened `staleness` server versions ago.  Advances
+  /// rounds_completed_; the number of uploads is the returned stats.jobs.
+  RoundGraphStats run_async_round(
+      std::uint64_t round_mult, std::uint64_t device_mult,
+      const std::function<float(std::int64_t)>& mix_alpha);
 
  private:
-  /// The one local-training invocation both async paths share, so their
-  /// hyper-parameters can never diverge (the first-wave/serial bit-identity
-  /// depends on it).
+  /// The one local-training invocation every async job goes through, so the
+  /// serial and speculative paths can never diverge on hyper-parameters
+  /// (the byte-identity contract depends on it).
   void run_async_job(std::size_t device, int epochs, Rng rng, std::span<float> model,
                      TrainScratch& scratch);
 
@@ -95,6 +100,7 @@ class FlAlgorithm {
   Rng rng_;
   nn::Workspace eval_ws_;
   int rounds_completed_ = 0;
+  RoundGraphStats last_round_stats_;
 };
 
 }  // namespace fedhisyn::core

@@ -13,30 +13,45 @@
 
 namespace fedhisyn::core {
 
-FEDHISYN_REGISTER_ALGORITHM("FedHiSyn", [](const FlContext& ctx) {
-  return std::make_unique<FedHiSynAlgo>(ctx);
-});
-FEDHISYN_REGISTER_ALGORITHM("FedAvg", [](const FlContext& ctx) {
-  return std::make_unique<FedAvgFamily>(ctx, FedAvgVariant::kFedAvg);
-});
-FEDHISYN_REGISTER_ALGORITHM("TFedAvg", [](const FlContext& ctx) {
-  return std::make_unique<FedAvgFamily>(ctx, FedAvgVariant::kTFedAvg);
-});
-FEDHISYN_REGISTER_ALGORITHM("FedProx", [](const FlContext& ctx) {
-  return std::make_unique<FedAvgFamily>(ctx, FedAvgVariant::kFedProx);
-});
-FEDHISYN_REGISTER_ALGORITHM("TAFedAvg", [](const FlContext& ctx) {
-  return std::make_unique<TAFedAvgAlgo>(ctx);
-});
-FEDHISYN_REGISTER_ALGORITHM("FedAsync", [](const FlContext& ctx) {
-  return std::make_unique<FedAsyncAlgo>(ctx);
-});
-FEDHISYN_REGISTER_ALGORITHM("FedAT", [](const FlContext& ctx) {
-  return std::make_unique<FedATAlgo>(ctx);
-});
-FEDHISYN_REGISTER_ALGORITHM("SCAFFOLD", [](const FlContext& ctx) {
-  return std::make_unique<ScaffoldAlgo>(ctx);
-});
+FEDHISYN_REGISTER_ALGORITHM(
+    "FedHiSyn",
+    "the paper's method: ring circulation inside speed classes, then server "
+    "aggregation",
+    [](const FlContext& ctx) { return std::make_unique<FedHiSynAlgo>(ctx); });
+FEDHISYN_REGISTER_ALGORITHM(
+    "FedAvg", "synchronous baseline: sample-weighted average of all uploads",
+    [](const FlContext& ctx) {
+      return std::make_unique<FedAvgFamily>(ctx, FedAvgVariant::kFedAvg);
+    });
+FEDHISYN_REGISTER_ALGORITHM(
+    "TFedAvg",
+    "time-slotted FedAvg: fast devices fit extra local epochs into the round",
+    [](const FlContext& ctx) {
+      return std::make_unique<FedAvgFamily>(ctx, FedAvgVariant::kTFedAvg);
+    });
+FEDHISYN_REGISTER_ALGORITHM(
+    "FedProx", "FedAvg with a proximal term damping client drift (mu)",
+    [](const FlContext& ctx) {
+      return std::make_unique<FedAvgFamily>(ctx, FedAvgVariant::kFedProx);
+    });
+FEDHISYN_REGISTER_ALGORITHM(
+    "TAFedAvg",
+    "fully asynchronous: the server mixes every upload on arrival at a fixed "
+    "rate (speculative RoundGraph rounds)",
+    [](const FlContext& ctx) { return std::make_unique<TAFedAvgAlgo>(ctx); });
+FEDHISYN_REGISTER_ALGORITHM(
+    "FedAsync",
+    "asynchronous with polynomial staleness damping of each upload "
+    "(speculative RoundGraph rounds)",
+    [](const FlContext& ctx) { return std::make_unique<FedAsyncAlgo>(ctx); });
+FEDHISYN_REGISTER_ALGORITHM(
+    "FedAT", "tiered asynchronism: synchronous within speed tiers, "
+             "asynchronous across them",
+    [](const FlContext& ctx) { return std::make_unique<FedATAlgo>(ctx); });
+FEDHISYN_REGISTER_ALGORITHM(
+    "SCAFFOLD", "control variates correct client drift (2x traffic per "
+                "exchange)",
+    [](const FlContext& ctx) { return std::make_unique<ScaffoldAlgo>(ctx); });
 
 namespace detail {
 // Link anchor referenced by registry.cpp; being called guarantees this

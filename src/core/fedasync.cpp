@@ -18,49 +18,16 @@ FedAsyncAlgo::FedAsyncAlgo(const FlContext& ctx, float staleness_exponent)
 }
 
 void FedAsyncAlgo::run_round() {
-  const auto participants = draw_participants();
-  const double interval = round_duration();
-  const int epochs = ctx_.opts.local_epochs;
+  // Staleness-damped server mix (FedAsync's polynomial schedule): an upload
+  // `s` versions stale mixes at alpha * (1 + s)^(-a).  The event replay,
+  // job-graph compilation and execution live in run_async_round.
   const float alpha = ctx_.opts.async_alpha;
-
-  sim::EventQueue queue;
-  queue.reset(0.0);
-  std::vector<std::vector<float>> working(ctx_.device_count());
-  std::vector<std::int64_t> start_version(ctx_.device_count(), 0);
-  for (const auto device : participants) {
-    working[device] = global_;
-    start_version[device] = version_;
-    comm_.record_server_download();
-  }
-  auto pretrained = pretrain_first_wave(queue, working, participants, interval, epochs,
-                                        kRoundSalt, kDeviceSalt);
-
-  while (!queue.empty()) {
-    const sim::Event event = queue.pop();
-    const std::size_t device = event.device;
-    train_event_job(device, static_cast<std::uint64_t>(event.sequence), working, epochs,
-                    kRoundSalt, kDeviceSalt, pretrained);
-    comm_.record_server_upload();
-
-    // Staleness-damped server mix (FedAsync's polynomial schedule).
-    const auto staleness =
-        static_cast<float>(version_ - start_version[device]);
-    const float alpha_eff =
-        alpha * std::pow(1.0f + staleness, -staleness_exponent_);
-    for (std::size_t j = 0; j < global_.size(); ++j) {
-      global_[j] = (1.0f - alpha_eff) * global_[j] + alpha_eff * working[device][j];
-    }
-    ++version_;
-
-    const double job = sim::local_training_time((*ctx_.fleet)[device], epochs);
-    if (event.time + job <= interval) {
-      comm_.record_server_download();
-      working[device] = global_;
-      start_version[device] = version_;
-      queue.schedule(event.time + job, device);
-    }
-  }
-  ++rounds_completed_;
+  const auto stats =
+      run_async_round(kRoundSalt, kDeviceSalt, [&](std::int64_t staleness) {
+        return alpha * std::pow(1.0f + static_cast<float>(staleness),
+                                -staleness_exponent_);
+      });
+  version_ += static_cast<std::int64_t>(stats.jobs);  // one version per upload
 }
 
 }  // namespace fedhisyn::core

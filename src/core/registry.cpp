@@ -19,9 +19,14 @@ void builtin_algorithms_anchor();
 
 namespace {
 
+struct Entry {
+  std::string description;
+  AlgorithmFactory factory;
+};
+
 struct Registry {
   std::mutex mutex;
-  std::map<std::string, AlgorithmFactory> factories;
+  std::map<std::string, Entry> factories;
 };
 
 Registry& registry() {
@@ -31,12 +36,18 @@ Registry& registry() {
 
 }  // namespace
 
-bool register_algorithm(std::string name, AlgorithmFactory factory) {
+bool register_algorithm(std::string name, std::string description,
+                        AlgorithmFactory factory) {
   FEDHISYN_CHECK_MSG(factory != nullptr, "null factory for '" << name << "'");
+  FEDHISYN_CHECK_MSG(!description.empty(),
+                     "empty description for '" << name << "'");
   auto& reg = registry();
   std::lock_guard<std::mutex> lock(reg.mutex);
   const bool inserted =
-      reg.factories.emplace(std::move(name), std::move(factory)).second;
+      reg.factories
+          .emplace(std::move(name),
+                   Entry{std::move(description), std::move(factory)})
+          .second;
   FEDHISYN_CHECK_MSG(inserted, "algorithm registered twice");
   return true;
 }
@@ -47,8 +58,18 @@ std::vector<std::string> registered_methods() {
   std::lock_guard<std::mutex> lock(reg.mutex);
   std::vector<std::string> names;
   names.reserve(reg.factories.size());
-  for (const auto& [name, factory] : reg.factories) names.push_back(name);
+  for (const auto& [name, entry] : reg.factories) names.push_back(name);
   return names;  // std::map iterates sorted
+}
+
+std::string method_description(const std::string& name) {
+  detail::builtin_algorithms_anchor();
+  auto& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  const auto it = reg.factories.find(name);
+  FEDHISYN_CHECK_MSG(it != reg.factories.end(),
+                     "unknown algorithm '" << name << "'");
+  return it->second.description;
 }
 
 bool algorithm_registered(const std::string& name) {
@@ -66,7 +87,7 @@ std::unique_ptr<FlAlgorithm> make_algorithm(const std::string& name,
     auto& reg = registry();
     std::lock_guard<std::mutex> lock(reg.mutex);
     const auto it = reg.factories.find(name);
-    if (it != reg.factories.end()) factory = it->second;
+    if (it != reg.factories.end()) factory = it->second.factory;
   }
   if (!factory) {
     std::ostringstream known;

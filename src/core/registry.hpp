@@ -24,13 +24,19 @@ namespace fedhisyn::core {
 using AlgorithmFactory =
     std::function<std::unique_ptr<FlAlgorithm>(const FlContext&)>;
 
-/// Register `factory` under `name` (case-sensitive).  Check-fails on a
-/// duplicate name — two registrations for one method is always a bug.
-/// Returns true so the registration macro can initialise a static.
-bool register_algorithm(std::string name, AlgorithmFactory factory);
+/// Register `factory` under `name` (case-sensitive) with a one-line human
+/// description (shown by --list-methods).  Check-fails on a duplicate name —
+/// two registrations for one method is always a bug.  Returns true so the
+/// registration macro can initialise a static.
+bool register_algorithm(std::string name, std::string description,
+                        AlgorithmFactory factory);
 
 /// All registered names, sorted lexicographically (feeds --list-methods).
 std::vector<std::string> registered_methods();
+
+/// The one-line description `name` was registered with; check-fails on an
+/// unknown name.
+std::string method_description(const std::string& name);
 
 /// True when `name` has a registered factory.
 bool algorithm_registered(const std::string& name);
@@ -46,6 +52,7 @@ std::unique_ptr<FlAlgorithm> make_algorithm(const std::string& name,
 #define FEDHISYN_REGISTRY_CONCAT(a, b) FEDHISYN_REGISTRY_CONCAT_INNER(a, b)
 
 /// Namespace-scope registration: FEDHISYN_REGISTER_ALGORITHM("FedHiSyn",
+/// "ring circulation inside speed classes + server aggregation",
 /// [](const FlContext& ctx) { return std::make_unique<FedHiSynAlgo>(ctx); });
 #define FEDHISYN_REGISTER_ALGORITHM(name, ...)                              \
   static const bool FEDHISYN_REGISTRY_CONCAT(fedhisyn_algorithm_registrar_, \

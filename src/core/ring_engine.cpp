@@ -1,31 +1,12 @@
 #include "core/ring_engine.hpp"
 
-#include <algorithm>
 #include <deque>
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
-#include "tensor/ops.hpp"
+#include "core/round_graph.hpp"
 
 namespace fedhisyn::core {
-
-namespace {
-
-constexpr std::int64_t kNone = -1;
-
-/// One training job discovered during the symbolic replay.  Node ids: values
-/// 0..n-1 are the devices' initial models, n+j is the output of jobs[j].
-struct TrainJob {
-  std::size_t device = 0;
-  /// Model the job trains: value(input_a) when input_b == kNone, else the
-  /// elementwise mean of the two (the Observation-1 averaging ablation).
-  std::int64_t input_a = kNone;
-  std::int64_t input_b = kNone;
-  /// Wavefront depth: 1 + max depth of the inputs.
-  std::int64_t level = 0;
-};
-
-}  // namespace
 
 RingEngine::RingEngine(const FlContext& ctx) : ctx_(ctx) {}
 
@@ -52,29 +33,34 @@ RingEngineResult RingEngine::run_interval(const std::vector<sim::RingTopology>& 
   }
 
   RingEngineResult result;
-  result.device_models = std::move(initial_models);
   result.jobs_completed.assign(n, 0);
+
+  // The per-job stream base is drawn unconditionally so the caller's rng
+  // position stays the same whether or not any job fits the interval.
+  const std::uint64_t stream_base = rng.next_u64();
 
   // ---- Phase 1: symbolic replay of the interval's event timeline. --------
   // Job durations depend only on the fleet profile, so the full schedule —
   // which jobs run, which model each one trains, where its output travels —
-  // is known before any training happens.  This replay mirrors the
-  // event-by-event semantics exactly, but moves node ids instead of weights.
-  std::vector<TrainJob> jobs;
-  const auto level_of = [&](std::int64_t node) {
-    return node < static_cast<std::int64_t>(n) ? std::int64_t{0}
-                                               : jobs[node - n].level;
-  };
+  // is known before any training happens.  The replay mirrors the
+  // event-by-event semantics exactly, but records RoundGraph node ids
+  // instead of moving weights: each device's initial model is a seed node,
+  // each training job's output a fresh node.
+  RoundGraph graph;
+  std::vector<std::int64_t> seed(n);
+  for (std::size_t d = 0; d < n; ++d) {
+    seed[d] = graph.add_seed(std::move(initial_models[d]));
+  }
 
   // Per-device state: the (input_a, input_b) the next job will train, the
   // most recently received node awaiting its turn (Alg. 1's buffer back), and
   // nodes in flight on links with non-zero delay.  Every device has exactly
   // one ring predecessor, so per-receiver FIFO order is preserved.
-  std::vector<std::int64_t> next_a(n, kNone);
-  std::vector<std::int64_t> next_b(n, kNone);
-  std::vector<std::int64_t> pending(n, kNone);
+  std::vector<std::int64_t> next_a(n, kNoRoundNode);
+  std::vector<std::int64_t> next_b(n, kNoRoundNode);
+  std::vector<std::int64_t> pending(n, kNoRoundNode);
   std::vector<std::deque<std::int64_t>> in_flight(n);
-  std::vector<std::int64_t> last_output(n, kNone);
+  std::vector<std::int64_t> last_output(n, kNoRoundNode);
 
   // Event encoding: id < n -> training completion on device id;
   //                 id >= n -> delivery of the next in-flight model to id-n.
@@ -83,7 +69,7 @@ RingEngineResult RingEngine::run_interval(const std::vector<sim::RingTopology>& 
   const int epochs = ctx_.opts.local_epochs;
   for (const auto device : participants) {
     const double job = sim::local_training_time((*ctx_.fleet)[device], epochs);
-    next_a[device] = static_cast<std::int64_t>(device);
+    next_a[device] = seed[device];
     if (job <= interval) queue.schedule(job, device);
   }
 
@@ -103,17 +89,16 @@ RingEngineResult RingEngine::run_interval(const std::vector<sim::RingTopology>& 
     }
 
     const std::size_t device = event.device;
-    // The job scheduled for `device` just finished: record it as a DAG node.
-    TrainJob job_node;
-    job_node.device = device;
-    job_node.input_a = next_a[device];
-    job_node.input_b = next_b[device];
-    job_node.level = 1 + std::max(level_of(job_node.input_a),
-                                  job_node.input_b == kNone
-                                      ? std::int64_t{0}
-                                      : level_of(job_node.input_b));
-    const auto output = static_cast<std::int64_t>(n + jobs.size());
-    jobs.push_back(job_node);
+    // The job scheduled for `device` just finished: record it as a graph
+    // node.  The model it trains is value(input_a), or the elementwise mean
+    // of the two inputs (the Observation-1 averaging ablation).
+    RoundJob job;
+    job.device = device;
+    job.input_a = next_a[device];
+    job.input_b = next_b[device];
+    job.stream = stream_base ^ (0x9E3779B97F4A7C15ull * (graph.job_count() + 1));
+    const std::size_t index = graph.add_job(job);
+    const std::int64_t output = graph.output_of(index);
     last_output[device] = output;
     ++result.jobs_completed[device];
 
@@ -137,144 +122,57 @@ RingEngineResult RingEngine::run_interval(const std::vector<sim::RingTopology>& 
 
     // Pick the next model to train: most recently received, else continue
     // refining the current one (Eq. (7)).
-    if (pending[device] != kNone) {
+    if (pending[device] != kNoRoundNode) {
       if (ctx_.opts.direct_use) {
         next_a[device] = pending[device];
-        next_b[device] = kNone;
+        next_b[device] = kNoRoundNode;
       } else {
         next_a[device] = output;
         next_b[device] = pending[device];
       }
-      pending[device] = kNone;
+      pending[device] = kNoRoundNode;
     } else {
       next_a[device] = output;
-      next_b[device] = kNone;
+      next_b[device] = kNoRoundNode;
     }
 
-    const double job = sim::local_training_time((*ctx_.fleet)[device], epochs);
-    if (now + job <= interval) queue.schedule(now + job, device);
+    const double job_time = sim::local_training_time((*ctx_.fleet)[device], epochs);
+    if (now + job_time <= interval) queue.schedule(now + job_time, device);
   }
 
-  // The per-job stream base is drawn unconditionally so the caller's rng
-  // position stays the same whether or not any job fit the interval.
-  const std::uint64_t stream_base = rng.next_u64();
-  if (jobs.empty()) return result;
-
-  // ---- Phase 2: execute the DAG wavefront by wavefront. ------------------
-  // Jobs in one level have no edges between them, so each level is one
-  // parallel_for.  A job's Rng stream is derived from (caller rng, event
-  // order), never from thread identity, so any thread count produces
-  // bit-identical weights.
-  // Liveness: a job's output is read only by its consumers and, for each
-  // device, the final output kept in the result.  Direct-use overwrites and
-  // pending-slot overwrites orphan some outputs (a fast sender flooding a
-  // slow successor), and those trainings are unobservable — jobs_completed
-  // and hops were already counted in Phase 1 — so prune them.  Inputs always
-  // have smaller node ids than consumers, making one reverse sweep enough.
-  std::vector<std::uint8_t> live(n + jobs.size(), 0);
+  // Each device's final model must survive execution for the result;
+  // everything else is fair game for the executor's move/free economy, and
+  // jobs whose output nothing observes (a fast sender flooding a slow
+  // successor's buffer) are pruned — jobs_completed and hops were already
+  // counted during the replay, exactly as the serial semantics would.
   for (std::size_t d = 0; d < n; ++d) {
-    if (last_output[d] != kNone) live[static_cast<std::size_t>(last_output[d])] = 1;
-  }
-  for (std::size_t j = jobs.size(); j-- > 0;) {
-    if (!live[n + j]) continue;
-    live[static_cast<std::size_t>(jobs[j].input_a)] = 1;
-    if (jobs[j].input_b != kNone) live[static_cast<std::size_t>(jobs[j].input_b)] = 1;
+    graph.pin(last_output[d] != kNoRoundNode ? last_output[d] : seed[d]);
   }
 
-  std::vector<std::vector<std::size_t>> by_level;
-  // A node's value may be *moved* into its consumer instead of copied when
-  // exactly one live consumer sits at the node's final-use level (every
-  // other consumer then ran in an earlier wave) and the node is not a
-  // device's final model.  This restores the serial code's train-in-place
-  // economy for self-refinement chains and the initial broadcast.
-  struct FinalUse {
-    std::int64_t level = -1;
-    std::int64_t job = kNone;  // sole consumer at `level`, kNone on a tie
-  };
-  std::vector<FinalUse> final_use(n + jobs.size());
-  for (std::size_t j = 0; j < jobs.size(); ++j) {
-    if (!live[n + j]) continue;
-    const auto& job = jobs[j];
-    if (static_cast<std::size_t>(job.level) >= by_level.size() + 1) {
-      by_level.resize(static_cast<std::size_t>(job.level));
-    }
-    by_level[static_cast<std::size_t>(job.level - 1)].push_back(j);
-    for (const auto input : {job.input_a, job.input_b}) {
-      if (input == kNone) continue;
-      auto& use = final_use[static_cast<std::size_t>(input)];
-      if (job.level > use.level) {
-        use.level = job.level;
-        use.job = static_cast<std::int64_t>(j);
-      } else if (job.level == use.level) {
-        use.job = kNone;
-      }
-    }
-  }
-
-  std::vector<std::vector<float>> outputs(jobs.size());
-  const auto value_of = [&](std::int64_t node) -> std::vector<float>& {
-    return node < static_cast<std::int64_t>(n) ? result.device_models[node]
-                                               : outputs[node - n];
-  };
-  const auto movable_into = [&](std::int64_t node, std::size_t consumer) {
-    if (final_use[static_cast<std::size_t>(node)].job !=
-        static_cast<std::int64_t>(consumer)) {
-      return false;
-    }
-    // A device's final model must survive for the result.
-    const std::size_t device = node < static_cast<std::int64_t>(n)
-                                   ? static_cast<std::size_t>(node)
-                                   : jobs[node - n].device;
-    return last_output[device] != node;
-  };
-
+  // ---- Phase 2: execute on the shared round engine. ----------------------
+  // Wavefront-parallel, bit-identical for any thread count: each job draws
+  // from its own stream (derived from the caller's rng and the job's event
+  // order), never from thread identity.  No commit chain — ring circulation
+  // has no server.
   auto& pool = ParallelExecutor::current();
   std::vector<TrainScratch> scratch(pool.thread_count());
-  for (std::size_t level = 0; level < by_level.size(); ++level) {
-    const auto& wave = by_level[level];
-    pool.parallel_for(wave.size(), [&](std::size_t w, std::size_t slot) {
-      const std::size_t j = wave[w];
-      const auto& job = jobs[j];
-      auto& model = outputs[j];
-      if (movable_into(job.input_a, j)) {
-        model = std::move(value_of(job.input_a));
-      } else {
-        model = value_of(job.input_a);
-      }
-      if (job.input_b != kNone) {
-        const auto& theirs = value_of(job.input_b);
-        for (std::size_t i = 0; i < model.size(); ++i) {
-          model[i] = 0.5f * (model[i] + theirs[i]);
-        }
-      }
-      Rng job_rng(stream_base ^ (0x9E3779B97F4A7C15ull * (j + 1)));
-      UpdateExtras extras;
-      extras.momentum = ctx_.opts.momentum;
-      train_local(*ctx_.network, std::span<float>(model), ctx_.fed->shards[job.device],
-                  epochs, ctx_.opts.batch_size, ctx_.opts.lr, UpdateKind::kSgd, extras,
-                  job_rng, scratch[slot]);
-    });
-    // Free intermediate outputs whose consumers have all executed (their
-    // final consumer level is the wave that just ran); initial models live in
-    // result.device_models and final per-device models stay live for the
-    // result.
-    for (const auto j : wave) {
-      for (const auto input : {jobs[j].input_a, jobs[j].input_b}) {
-        if (input < static_cast<std::int64_t>(n)) continue;
-        const auto producer = static_cast<std::size_t>(input - n);
-        if (final_use[static_cast<std::size_t>(input)].level ==
-                static_cast<std::int64_t>(level + 1) &&
-            last_output[jobs[producer].device] != input) {
-          outputs[producer] = {};
-        }
-      }
-    }
-  }
+  const RoundGraphExecutor executor(RoundGraphExecutor::Mode::kOverlap);
+  executor.run(
+      graph,
+      [&](const RoundJob& job, std::vector<float>& model, std::size_t slot) {
+        Rng job_rng(job.stream);
+        UpdateExtras extras;
+        extras.momentum = ctx_.opts.momentum;
+        train_local(*ctx_.network, std::span<float>(model),
+                    ctx_.fed->shards[job.device], epochs, ctx_.opts.batch_size,
+                    ctx_.opts.lr, UpdateKind::kSgd, extras, job_rng, scratch[slot]);
+      },
+      nullptr);
 
+  result.device_models.resize(n);
   for (std::size_t d = 0; d < n; ++d) {
-    if (last_output[d] != kNone) {
-      result.device_models[d] = std::move(outputs[static_cast<std::size_t>(last_output[d] - n)]);
-    }
+    result.device_models[d] =
+        graph.take(last_output[d] != kNoRoundNode ? last_output[d] : seed[d]);
   }
   return result;
 }

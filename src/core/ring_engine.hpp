@@ -9,12 +9,13 @@
 //
 // Execution is parallel and deterministic.  Virtual-time job durations depend
 // only on the fleet profile, never on training output, so the engine first
-// replays the event timeline symbolically — producing a DAG of training jobs
-// whose edges are "device continues its own model" and "model forwarded along
-// the ring" — and then executes the DAG level by level on the ParallelExecutor
-// pool.  Each job draws from its own seeded Rng stream (derived from the
-// caller's rng and the job's event order), so results are bit-identical for
-// any thread count.
+// replays the event timeline symbolically — producing a RoundGraph of
+// training jobs whose edges are "device continues its own model" and "model
+// forwarded along the ring" — and then hands the graph to the shared
+// RoundGraphExecutor (core/round_graph.hpp), which runs it wavefront-parallel
+// on the ParallelExecutor pool.  Each job draws from its own seeded Rng
+// stream (derived from the caller's rng and the job's event order), so
+// results are bit-identical for any thread count.
 //
 // Used by FedHiSynAlgo (with server aggregation on top) and by the
 // decentralised modes behind Figs. 3 and 4 (no server).

@@ -1,8 +1,5 @@
 #include "core/tafedavg.hpp"
 
-#include "common/check.hpp"
-#include "tensor/ops.hpp"
-
 namespace fedhisyn::core {
 
 namespace {
@@ -14,46 +11,12 @@ constexpr std::uint64_t kDeviceSalt = 0x27D4EB2Full;
 TAFedAvgAlgo::TAFedAvgAlgo(const FlContext& ctx) : FlAlgorithm(ctx) {}
 
 void TAFedAvgAlgo::run_round() {
-  const auto participants = draw_participants();
-  const double interval = round_duration();
-  const int epochs = ctx_.opts.local_epochs;
+  // Fixed-rate server mix: every upload lands at the same alpha regardless
+  // of staleness.  The event replay, job-graph compilation and execution
+  // live in run_async_round.
   const float alpha = ctx_.opts.async_alpha;
-
-  // Event-driven: device completion order defines the server update order,
-  // which matters because every upload changes the model the next download
-  // sees.  The server mix therefore runs serially in event order — but the
-  // first job of every participant trains the same round-start snapshot with
-  // its own Rng stream, so that wave runs on the pool, bit-identical to the
-  // serial order.
-  sim::EventQueue queue;
-  queue.reset(0.0);
-  std::vector<std::vector<float>> working(ctx_.device_count());
-  for (const auto device : participants) {
-    working[device] = global_;
-    comm_.record_server_download();
-  }
-  auto pretrained = pretrain_first_wave(queue, working, participants, interval, epochs,
-                                        kRoundSalt, kDeviceSalt);
-
-  while (!queue.empty()) {
-    const sim::Event event = queue.pop();
-    const std::size_t device = event.device;
-    train_event_job(device, static_cast<std::uint64_t>(event.sequence), working, epochs,
-                    kRoundSalt, kDeviceSalt, pretrained);
-    // Upload and asynchronous server mix.
-    comm_.record_server_upload();
-    for (std::size_t j = 0; j < global_.size(); ++j) {
-      global_[j] = (1.0f - alpha) * global_[j] + alpha * working[device][j];
-    }
-    // Download the fresh global model and go again if another job fits.
-    const double job = sim::local_training_time((*ctx_.fleet)[device], epochs);
-    if (event.time + job <= interval) {
-      comm_.record_server_download();
-      working[device] = global_;
-      queue.schedule(event.time + job, device);
-    }
-  }
-  ++rounds_completed_;
+  run_async_round(kRoundSalt, kDeviceSalt,
+                  [alpha](std::int64_t) { return alpha; });
 }
 
 }  // namespace fedhisyn::core

@@ -32,7 +32,8 @@ std::vector<std::string> split_list(const std::string& text) {
 GridDriverOptions handle_grid_flags(const Flags& flags) {
   if (flags.get_bool("list-methods")) {
     for (const auto& method : core::registered_methods()) {
-      std::printf("%s\n", method.c_str());
+      std::printf("%-10s %s\n", method.c_str(),
+                  core::method_description(method).c_str());
     }
     std::exit(0);
   }
@@ -40,6 +41,19 @@ GridDriverOptions handle_grid_flags(const Flags& flags) {
     const long threads = flags.get_long("threads", 0);
     ParallelExecutor::global().set_thread_count(
         threads > 0 ? static_cast<std::size_t>(threads) : 1);
+  }
+  if (flags.has("speculate")) {
+    // The knob rides on the env var so every FlOptions constructed after
+    // flag handling — grid cells included — picks it up without each driver
+    // threading a field through (mirrors how --threads resizes the global
+    // pool).  Results are byte-identical either way; this is the A/B switch
+    // between the speculative RoundGraph schedule and the serial drain.
+    const std::string value = flags.get("speculate", "on");
+    FEDHISYN_CHECK_MSG(value == "on" || value == "off" || value == "1" ||
+                           value == "0" || value == "true" || value == "false",
+                       "--speculate takes on|off, got '" << value << "'");
+    const bool on = value == "on" || value == "1" || value == "true";
+    setenv("FEDHISYN_SPECULATE", on ? "1" : "0", /*overwrite=*/1);
   }
   GridDriverOptions options;
   const long jobs =

@@ -4,7 +4,12 @@
 //   --threads N       worker-thread budget (FEDHISYN_THREADS env fallback)
 //   --grid-jobs N     concurrent grid cells (FEDHISYN_GRID_JOBS fallback; 1)
 //   --out PATH        per-cell results, JSONL by default, CSV if *.csv
-//   --list-methods    print the registered algorithms and exit
+//   --speculate on|off
+//                     async rounds on the speculative RoundGraph engine (on,
+//                     the default) or the legacy serial drain (off); results
+//                     are byte-identical (FEDHISYN_SPECULATE fallback)
+//   --list-methods    print the registered algorithms (one description line
+//                     each) and exit
 //
 // Grid-restriction flags replace the old FEDHISYN_TABLE1_* getenv knobs;
 // the env vars remain as fallbacks for CI compatibility:

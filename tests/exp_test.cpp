@@ -146,10 +146,17 @@ TEST(Registry, UnknownNameThrowsAndNamesTheKnownMethods) {
 
 TEST(Registry, DuplicateRegistrationIsRejected) {
   EXPECT_THROW(core::register_algorithm(
-                   "FedAvg", [](const core::FlContext&) {
+                   "FedAvg", "duplicate", [](const core::FlContext&) {
                      return std::unique_ptr<core::FlAlgorithm>();
                    }),
                CheckError);
+}
+
+TEST(Registry, EveryMethodHasADescription) {
+  for (const auto& name : core::registered_methods()) {
+    EXPECT_FALSE(core::method_description(name).empty()) << name;
+  }
+  EXPECT_THROW(core::method_description("FedBogus"), CheckError);
 }
 
 // ------------------------------------------------------------------ spec --

@@ -1,21 +1,27 @@
 #!/usr/bin/env python3
-"""Benchmark regression gate for the GEMM sweep (BENCH_gemm.json).
+"""Benchmark regression gate for the BENCH_*.json emitters.
 
-Compares the per-shape gate metric of a fresh `bench_gemm_sweep` run against
-the checked-in baseline and fails (exit 1) when any shape regresses by more
-than --tolerance (default 25%).
+Compares the per-entry gate metric of a fresh bench run against the
+checked-in baseline under bench/baselines/ and fails (exit 1) when any entry
+regresses by more than --tolerance (default 25%).
 
-The default metric, `speedup_st`, is the blocked-kernel speedup over the
-serial per-row reference *measured in the same run on the same machine* — a
-ratio, so it transfers across runner hardware where raw times/GFLOP/s would
-not.  Baseline values are curated conservative floors, not raw measurements:
-refresh with
+Works with any fedhisyn bench JSON: a document carrying a "schema" string
+(matched between current and baseline) and a list of named entries under
+"shapes" or "entries".  Gated today:
 
-    ./build/bench_gemm_sweep --out BENCH_gemm.json --min-time-ms 500
-    python3 tools/bench_gate.py --current BENCH_gemm.json \
-        --baseline bench/baselines/BENCH_gemm.json --refresh
+  BENCH_gemm.json    (bench_gemm_sweep)       --metric speedup_st
+  BENCH_rounds.json  (bench_round_throughput) --metric speedup_model
 
-then review the diff and round the new speedups *down* so slower CI runners
+Gate metrics are same-run ratios (blocked-vs-reference kernel speedup;
+task-graph overlap factor), so they transfer across runner hardware where
+raw times/GFLOP/s would not.  Baseline values are curated conservative
+floors, not raw measurements: refresh with
+
+    ./build/bench_<name> --out BENCH_<name>.json ...
+    python3 tools/bench_gate.py --current BENCH_<name>.json \
+        --baseline bench/baselines/BENCH_<name>.json --refresh
+
+then review the diff and round the new values *down* so slower CI runners
 keep headroom (see README "Performance").
 """
 
@@ -25,28 +31,38 @@ import shutil
 import sys
 
 
-def load(path):
+def load(path, expect_schema=None):
     try:
         with open(path) as fh:
             doc = json.load(fh)
     except (OSError, json.JSONDecodeError) as err:
         print(f"bench_gate: cannot read {path}: {err}", file=sys.stderr)
         sys.exit(2)
-    if doc.get("schema") != "fedhisyn-gemm-sweep/1":
-        print(f"bench_gate: {path}: unexpected schema {doc.get('schema')!r}",
+    schema = doc.get("schema")
+    if not isinstance(schema, str) or not schema.startswith("fedhisyn-"):
+        print(f"bench_gate: {path}: unexpected schema {schema!r}",
               file=sys.stderr)
         sys.exit(2)
-    return {shape["name"]: shape for shape in doc.get("shapes", [])}
+    if expect_schema is not None and schema != expect_schema:
+        print(f"bench_gate: {path}: schema {schema!r} does not match "
+              f"baseline schema {expect_schema!r}", file=sys.stderr)
+        sys.exit(2)
+    items = doc.get("shapes", doc.get("entries"))
+    if not isinstance(items, list) or not all("name" in it for it in items):
+        print(f"bench_gate: {path}: expected a 'shapes' or 'entries' list of "
+              "named records", file=sys.stderr)
+        sys.exit(2)
+    return schema, {item["name"]: item for item in items}
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--current", required=True,
-                        help="BENCH_gemm.json from this run")
+                        help="BENCH_*.json from this run")
     parser.add_argument("--baseline", required=True,
-                        help="checked-in bench/baselines/BENCH_gemm.json")
+                        help="checked-in bench/baselines/BENCH_*.json")
     parser.add_argument("--metric", default="speedup_st",
-                        help="per-shape field to compare (default: speedup_st)")
+                        help="per-entry field to compare (default: speedup_st)")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed fractional regression (default: 0.25)")
     parser.add_argument("--refresh", action="store_true",
@@ -57,44 +73,45 @@ def main():
         load(args.current)  # validate before overwriting
         shutil.copyfile(args.current, args.baseline)
         print(f"bench_gate: baseline refreshed from {args.current}; "
-              "review the diff and round speedups down before committing")
+              "review the diff and round the gate metrics down before "
+              "committing")
         return 0
 
-    current = load(args.current)
-    baseline = load(args.baseline)
+    schema, baseline = load(args.baseline)
+    _, current = load(args.current, expect_schema=schema)
 
     failures = []
-    print(f"{'shape':<14} {'baseline':>9} {'floor':>9} {'current':>9}  verdict")
-    for name, base_shape in baseline.items():
-        base = base_shape.get(args.metric)
+    print(f"{'entry':<16} {'baseline':>9} {'floor':>9} {'current':>9}  verdict")
+    for name, base_entry in baseline.items():
+        base = base_entry.get(args.metric)
         if base is None:
-            print(f"bench_gate: baseline shape {name} lacks {args.metric}",
+            print(f"bench_gate: baseline entry {name} lacks {args.metric}",
                   file=sys.stderr)
             sys.exit(2)
         floor = base * (1.0 - args.tolerance)
-        cur_shape = current.get(name)
-        if cur_shape is None or args.metric not in cur_shape:
+        cur_entry = current.get(name)
+        if cur_entry is None or args.metric not in cur_entry:
             failures.append(name)
-            print(f"{name:<14} {base:>9.3f} {floor:>9.3f} {'missing':>9}  FAIL")
+            print(f"{name:<16} {base:>9.3f} {floor:>9.3f} {'missing':>9}  FAIL")
             continue
-        cur = cur_shape[args.metric]
+        cur = cur_entry[args.metric]
         verdict = "ok" if cur >= floor else "FAIL"
         if verdict == "FAIL":
             failures.append(name)
-        print(f"{name:<14} {base:>9.3f} {floor:>9.3f} {cur:>9.3f}  {verdict}")
+        print(f"{name:<16} {base:>9.3f} {floor:>9.3f} {cur:>9.3f}  {verdict}")
 
     for name in current:
         if name not in baseline:
-            print(f"{name:<14} {'-':>9} {'-':>9} "
+            print(f"{name:<16} {'-':>9} {'-':>9} "
                   f"{current[name].get(args.metric, float('nan')):>9.3f}  "
                   "new (not gated; refresh baseline to cover it)")
 
     if failures:
-        print(f"\nbench_gate: {len(failures)} shape(s) regressed more than "
+        print(f"\nbench_gate: {len(failures)} entr(y/ies) regressed more than "
               f"{args.tolerance:.0%} on {args.metric}: {', '.join(failures)}",
               file=sys.stderr)
         return 1
-    print(f"\nbench_gate: all {len(baseline)} gated shapes within "
+    print(f"\nbench_gate: all {len(baseline)} gated entries within "
           f"{args.tolerance:.0%} of baseline on {args.metric}")
     return 0
 
