@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
         // Calibration observes final accuracy; disable the target metric.
         spec.target = 0.99f;
       });
-  const auto cells = exp::GridScheduler({.jobs = grid_options.grid_jobs}).run(grid.expand());
+  const auto cells = exp::run_grid(grid.expand(), grid_options);
 
   Table table({"dataset", "partition", "method", "final acc", "best acc"});
   for (const auto& cell : cells) {
@@ -46,7 +46,6 @@ int main(int argc, char** argv) {
   table.print();
   table.maybe_write_csv("calibrate");
   if (!grid_options.out.empty()) {
-    exp::write_results(grid_options.out, cells);
     std::printf("results written to %s\n", grid_options.out.c_str());
   }
   return 0;

@@ -1,0 +1,117 @@
+// Dispatch-overhead microbench: what does process-level grid dispatch cost
+// per cell, compared to the in-process thread backend?
+//
+// Runs a sweep of deliberately tiny cells (so per-cell compute is small and
+// the dispatch machinery dominates) through GridScheduler twice — thread
+// backend and process backend — and reports wall time, cells/sec and the
+// derived per-cell dispatch overhead.  Emits machine-readable
+// BENCH_dispatch.json; CI gates cells_per_sec against
+// bench/baselines/BENCH_dispatch.json via tools/bench_gate.py (the floors
+// are curated far below any healthy run, so the gate catches a dispatcher
+// that starts respawning workers per cell or serialising the pool, not
+// runner-hardware noise).
+//
+//   ./bench_dispatch_overhead [--out BENCH_dispatch.json] [--cells N]
+//                             [--jobs N] [--repeat N]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "exp/driver.hpp"
+#include "exp/grid.hpp"
+#include "exp/scheduler.hpp"
+
+namespace {
+
+double run_backend(const std::vector<fedhisyn::exp::ExperimentSpec>& specs,
+                   fedhisyn::exp::CellBackend backend, std::size_t jobs, int repeat) {
+  using namespace fedhisyn;
+  double best = 1e300;
+  for (int r = 0; r < repeat; ++r) {
+    exp::GridScheduler::Options options;
+    options.jobs = jobs;
+    options.backend = backend;
+    const auto start = std::chrono::steady_clock::now();
+    exp::GridScheduler(options).run(specs);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    best = std::min(best, wall);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fedhisyn;
+  const auto flags = Flags::parse(argc - 1, argv + 1);
+  exp::handle_grid_flags(flags);  // --worker-cell / --threads / --list-methods
+
+  const std::size_t cells = static_cast<std::size_t>(flags.get_long("cells", 12));
+  const std::size_t jobs = static_cast<std::size_t>(flags.get_long("jobs", 2));
+  const int repeat = static_cast<int>(flags.get_long("repeat", 1));
+  const std::string out_path = flags.get("out", "BENCH_dispatch.json");
+
+  // Tiny cells: 4 devices, 1 round, a handful of samples — compute is a few
+  // milliseconds, so spawn + wire-codec + pipe costs are what get measured.
+  exp::ExperimentGrid grid;
+  grid.base().build.scale.devices = 4;
+  grid.base().build.scale.train_samples_per_device = 10;
+  grid.base().build.scale.test_samples = 40;
+  grid.base().build.scale.rounds = 1;
+  grid.base().build.mlp_hidden = {8};
+  grid.base().opts.local_epochs = 1;
+  grid.base().opts.batch_size = 10;
+  grid.base().opts.clusters = 1;
+  grid.base().method = "FedAvg";
+  grid.base().target = 0.999f;
+  std::vector<std::uint64_t> seeds(cells);
+  for (std::size_t i = 0; i < cells; ++i) seeds[i] = 100 + i;
+  grid.seeds(seeds);
+  const auto specs = grid.expand();
+
+  const double thread_wall =
+      run_backend(specs, exp::CellBackend::kThread, jobs, repeat);
+  const double process_wall =
+      run_backend(specs, exp::CellBackend::kProcess, jobs, repeat);
+  const double thread_cps = static_cast<double>(cells) / thread_wall;
+  const double process_cps = static_cast<double>(cells) / process_wall;
+  const double overhead_ms =
+      (process_wall - thread_wall) / static_cast<double>(cells) * 1000.0;
+
+  std::printf("== dispatch overhead (%zu cells, %zu jobs, best of %d) ==\n", cells,
+              jobs, repeat);
+  std::printf("thread  backend: %7.3fs wall, %8.1f cells/sec\n", thread_wall,
+              thread_cps);
+  std::printf("process backend: %7.3fs wall, %8.1f cells/sec, %+.2f ms/cell dispatch "
+              "overhead\n",
+              process_wall, process_cps, overhead_ms);
+
+  char buf[256];
+  std::string json = "{\n  \"schema\": \"fedhisyn-dispatch-overhead/1\",\n";
+  std::snprintf(buf, sizeof(buf), "  \"cells\": %zu,\n  \"jobs\": %zu,\n", cells, jobs);
+  json += buf;
+  json += "  \"entries\": [\n";
+  std::snprintf(buf, sizeof(buf),
+                "    {\"name\": \"thread/j%zu\", \"backend\": \"thread\", "
+                "\"wall_s\": %.4f, \"cells_per_sec\": %.2f},\n",
+                jobs, thread_wall, thread_cps);
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "    {\"name\": \"process/j%zu\", \"backend\": \"process\", "
+                "\"wall_s\": %.4f, \"cells_per_sec\": %.2f, "
+                "\"overhead_ms_per_cell\": %.3f}\n",
+                jobs, process_wall, process_cps, overhead_ms);
+  json += buf;
+  json += "  ]\n}\n";
+
+  std::ofstream out(out_path);
+  out << json;
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
         // Final-accuracy sweep; disable the rounds-to-target metric.
         spec.target = 0.99f;
       });
-  const auto cells = exp::GridScheduler({.jobs = grid_options.grid_jobs}).run(grid.expand());
+  const auto cells = exp::run_grid(grid.expand(), grid_options);
 
   // dataset outermost, K innermost: one table of |ks| rows per dataset.
   for (std::size_t block = 0; block + ks.size() <= cells.size(); block += ks.size()) {
@@ -69,7 +69,6 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
   if (!grid_options.out.empty()) {
-    exp::write_results(grid_options.out, cells);
     std::printf("results written to %s\n", grid_options.out.c_str());
   }
   return 0;

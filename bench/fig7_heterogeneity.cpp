@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
         // rounds-to-target metric (the figure plots accuracy only).
         spec.target = 0.99f;
       });
-  const auto cells = exp::GridScheduler({.jobs = grid_options.grid_jobs}).run(grid.expand());
+  const auto cells = exp::run_grid(grid.expand(), grid_options);
 
   // dataset is the outermost axis, H next, methods innermost: each dataset
   // block is |H| rows of |methods| cells.
@@ -67,7 +67,6 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
   if (!grid_options.out.empty()) {
-    exp::write_results(grid_options.out, cells);
     std::printf("results written to %s\n", grid_options.out.c_str());
   }
   return 0;

@@ -9,7 +9,7 @@
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "gemm_shapes.hpp"
-#include "core/factory.hpp"
+#include "core/registry.hpp"
 #include "core/fedhisyn_algo.hpp"
 #include "core/presets.hpp"
 #include "core/trainer.hpp"

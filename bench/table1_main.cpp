@@ -30,7 +30,7 @@
 #include "common/env.hpp"
 #include "common/flags.hpp"
 #include "common/table.hpp"
-#include "core/factory.hpp"
+#include "core/registry.hpp"
 #include "exp/driver.hpp"
 #include "exp/grid.hpp"
 #include "exp/scheduler.hpp"
@@ -68,15 +68,10 @@ int main(int argc, char** argv) {
       });
   const auto specs = grid.expand();
 
-  exp::GridScheduler::Options options;
-  options.jobs = grid_options.grid_jobs;
-  options.on_cell = [](std::size_t, std::size_t, const exp::CellResult&) {
-    std::printf(".");
-    std::fflush(stdout);
-  };
-  const exp::GridScheduler scheduler(options);
+  // run_grid handles --dispatch/--resume/--quiet, streams per-cell progress
+  // to stderr and writes --out (append-safe, atomically, spec-ordered).
   const auto start = std::chrono::steady_clock::now();
-  const auto cells = scheduler.run(specs);
+  const auto cells = exp::run_grid(specs, grid_options);
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 
@@ -102,11 +97,11 @@ int main(int argc, char** argv) {
   }
   table.print();
   table.maybe_write_csv("table1");
+  const exp::GridScheduler budget({.jobs = grid_options.grid_jobs});
   std::printf("grid: %zu cells, %zu jobs x %zu threads, %.1fs wall\n", cells.size(),
-              scheduler.resolved_jobs(cells.size()),
-              scheduler.inner_threads(scheduler.resolved_jobs(cells.size())), elapsed);
+              budget.resolved_jobs(cells.size()),
+              budget.inner_threads(budget.resolved_jobs(cells.size())), elapsed);
   if (!grid_options.out.empty()) {
-    exp::write_results(grid_options.out, cells);
     std::printf("results written to %s\n", grid_options.out.c_str());
   }
   return 0;

@@ -12,7 +12,7 @@
 
 #include "common/rng.hpp"
 #include "common/table.hpp"
-#include "core/factory.hpp"
+#include "core/registry.hpp"
 #include "core/runner.hpp"
 #include "data/divergence.hpp"
 #include "data/partition.hpp"

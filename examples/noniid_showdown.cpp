@@ -15,7 +15,7 @@
 #include "common/env.hpp"
 #include "common/flags.hpp"
 #include "common/table.hpp"
-#include "core/factory.hpp"
+#include "core/registry.hpp"
 #include "exp/driver.hpp"
 #include "exp/grid.hpp"
 #include "exp/scheduler.hpp"
@@ -35,14 +35,9 @@ int main(int argc, char** argv) {
   grid.base().eval_every = 2;
   grid.datasets({"cifar10"}).methods(core::table1_methods()).auto_scale(full);
 
-  exp::GridScheduler::Options options;
-  options.jobs = grid_options.grid_jobs;
-  options.on_cell = [](std::size_t done, std::size_t total, const exp::CellResult& cell) {
-    std::printf("[%zu/%zu] %s done (%.1fs)\n", done, total, cell.spec.method.c_str(),
-                cell.seconds);
-    std::fflush(stdout);
-  };
-  auto cells = exp::GridScheduler(options).run(grid.expand());
+  // The shared driver prints per-cell progress (with an ETA) to stderr;
+  // --quiet suppresses it, --dispatch=process crash-isolates the cells.
+  auto cells = exp::run_grid(grid.expand(), grid_options);
   const float target = cells.front().spec.resolved_target();
 
   // Leaderboard: reached-target first (fewest normalised rounds), then by
@@ -70,7 +65,6 @@ int main(int argc, char** argv) {
   }
   table.print();
   if (!grid_options.out.empty()) {
-    exp::write_results(grid_options.out, cells);
     std::printf("results written to %s\n", grid_options.out.c_str());
   }
   return 0;

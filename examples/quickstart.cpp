@@ -35,8 +35,9 @@ int main(int argc, char** argv) {
       .methods({"FedHiSyn", "FedAvg"})
       .auto_scale(full_scale_enabled());
 
-  // 2. Run the grid (serially by default; --grid-jobs 2 fans it out).
-  const auto cells = exp::GridScheduler({.jobs = grid_options.grid_jobs}).run(grid.expand());
+  // 2. Run the grid (serially by default; --grid-jobs 2 fans it out over
+  //    threads, --dispatch=process over crash-isolated worker processes).
+  const auto cells = exp::run_grid(grid.expand(), grid_options);
 
   // 3. The per-round trajectory is recorded in each cell's history.
   const float target = cells.front().spec.resolved_target();
@@ -57,7 +58,6 @@ int main(int argc, char** argv) {
   std::printf("\n");
   table.print();
   if (!grid_options.out.empty()) {
-    exp::write_results(grid_options.out, cells);
     std::printf("results written to %s\n", grid_options.out.c_str());
   }
   return 0;

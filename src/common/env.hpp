@@ -8,6 +8,15 @@
 //                            speculative RoundGraph schedule (results are
 //                            byte-identical either way; see
 //                            core/round_graph.hpp).  Default: on.
+//   FEDHISYN_GRID_JOBS=N     concurrent grid cells (see exp/scheduler.hpp)
+//   FEDHISYN_DISPATCH=thread|process
+//                            grid cell backend: in-process worker threads
+//                            (default) or a crash-isolated pool of worker
+//                            processes (exp/dispatch.hpp).  Output files are
+//                            byte-identical either way.
+//   FEDHISYN_WORKER_RETRIES=N
+//                            extra attempts for a grid cell whose dispatch
+//                            worker crashed (default 2, i.e. 3 tries total).
 //   FEDHISYN_GEMM_TUNE=NC[xROWS]
 //                            blocked-GEMM tile sizes (see tensor/gemm.cpp):
 //                            NC = column-panel width, ROWS = rows per parallel

@@ -1,0 +1,179 @@
+#include "common/subprocess.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/check.hpp"
+
+extern char** environ;
+
+namespace fedhisyn {
+
+namespace {
+
+/// "KEY" prefix of a "KEY=VALUE" entry.
+std::string env_key(const std::string& entry) {
+  return entry.substr(0, entry.find('='));
+}
+
+/// write_stdin's return-false-on-EPIPE contract needs SIGPIPE ignored, or a
+/// write to a dead child kills the parent before errno is ever seen — so
+/// the class arranges it itself instead of relying on every caller.
+void ignore_sigpipe() {
+  static std::once_flag once;
+  std::call_once(once, [] { std::signal(SIGPIPE, SIG_IGN); });
+}
+
+}  // namespace
+
+std::string describe(const ExitStatus& status) {
+  std::ostringstream out;
+  if (status.exited) {
+    out << "exit code " << status.code;
+  } else {
+    out << "killed by signal " << status.signal;
+    const char* name = strsignal(status.signal);
+    if (name != nullptr) out << " (" << name << ")";
+  }
+  return out.str();
+}
+
+Subprocess::Subprocess(const std::vector<std::string>& argv,
+                       const std::vector<std::string>& env_overrides) {
+  FEDHISYN_CHECK_MSG(!argv.empty(), "Subprocess needs a binary to exec");
+  ignore_sigpipe();
+
+  // O_CLOEXEC on both pipes: a sibling worker exec'd later must not inherit
+  // this worker's pipe ends, or closing the parent's write end would never
+  // deliver EOF (the child's dup2 copies below drop the flag, so the child
+  // keeps exactly the stdin/stdout it needs).
+  int in_pipe[2];   // parent writes -> child stdin
+  int out_pipe[2];  // child stdout -> parent reads
+  FEDHISYN_CHECK_MSG(::pipe2(in_pipe, O_CLOEXEC) == 0,
+                     "pipe2() failed: " << std::strerror(errno));
+  if (::pipe2(out_pipe, O_CLOEXEC) != 0) {
+    ::close(in_pipe[0]);
+    ::close(in_pipe[1]);
+    FEDHISYN_CHECK_MSG(false, "pipe2() failed: " << std::strerror(errno));
+  }
+
+  // Materialise argv/envp before fork: no allocation between fork and exec.
+  std::vector<char*> argv_ptrs;
+  argv_ptrs.reserve(argv.size() + 1);
+  for (const auto& arg : argv) argv_ptrs.push_back(const_cast<char*>(arg.c_str()));
+  argv_ptrs.push_back(nullptr);
+
+  std::vector<std::string> env_storage;
+  for (char** entry = environ; entry != nullptr && *entry != nullptr; ++entry) {
+    const std::string current = *entry;
+    bool overridden = false;
+    for (const auto& override_entry : env_overrides) {
+      if (env_key(current) == env_key(override_entry)) {
+        overridden = true;
+        break;
+      }
+    }
+    if (!overridden) env_storage.push_back(current);
+  }
+  for (const auto& override_entry : env_overrides) env_storage.push_back(override_entry);
+  std::vector<char*> envp;
+  envp.reserve(env_storage.size() + 1);
+  for (const auto& entry : env_storage) envp.push_back(const_cast<char*>(entry.c_str()));
+  envp.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    for (const int fd : {in_pipe[0], in_pipe[1], out_pipe[0], out_pipe[1]}) ::close(fd);
+    FEDHISYN_CHECK_MSG(false, "fork() failed: " << std::strerror(errno));
+  }
+
+  if (pid == 0) {
+    // Child: wire the pipes onto stdin/stdout (stderr stays inherited).
+    ::dup2(in_pipe[0], STDIN_FILENO);
+    ::dup2(out_pipe[1], STDOUT_FILENO);
+    for (const int fd : {in_pipe[0], in_pipe[1], out_pipe[0], out_pipe[1]}) ::close(fd);
+    ::execve(argv_ptrs[0], argv_ptrs.data(), envp.data());
+    // exec failed: 127 is the shell's convention for "command not found".
+    ::_exit(127);
+  }
+
+  pid_ = pid;
+  ::close(in_pipe[0]);
+  ::close(out_pipe[1]);
+  stdin_fd_ = in_pipe[1];
+  stdout_fd_ = out_pipe[0];
+}
+
+Subprocess::~Subprocess() {
+  if (pid_ > 0) {
+    ::kill(pid_, SIGKILL);
+    wait();
+  }
+  close_stdin();
+  if (stdout_fd_ >= 0) {
+    ::close(stdout_fd_);
+    stdout_fd_ = -1;
+  }
+}
+
+bool Subprocess::write_stdin(const std::string& data) {
+  FEDHISYN_CHECK_MSG(stdin_fd_ >= 0, "child stdin already closed");
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(stdin_fd_, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE) return false;  // child is gone; caller handles retry
+      FEDHISYN_CHECK_MSG(false, "write to worker stdin failed: " << std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void Subprocess::close_stdin() {
+  if (stdin_fd_ >= 0) {
+    ::close(stdin_fd_);
+    stdin_fd_ = -1;
+  }
+}
+
+ExitStatus Subprocess::wait() {
+  if (pid_ <= 0) return status_;
+  int raw = 0;
+  pid_t reaped;
+  do {
+    reaped = ::waitpid(pid_, &raw, 0);
+  } while (reaped < 0 && errno == EINTR);
+  FEDHISYN_CHECK_MSG(reaped == pid_, "waitpid failed: " << std::strerror(errno));
+  pid_ = -1;
+  if (WIFEXITED(raw)) {
+    status_.exited = true;
+    status_.code = WEXITSTATUS(raw);
+  } else if (WIFSIGNALED(raw)) {
+    status_.exited = false;
+    status_.signal = WTERMSIG(raw);
+  }
+  return status_;
+}
+
+void Subprocess::kill(int signum) {
+  if (pid_ > 0) ::kill(pid_, signum);
+}
+
+std::string current_executable_path() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  FEDHISYN_CHECK_MSG(n > 0, "cannot resolve /proc/self/exe: " << std::strerror(errno));
+  buf[n] = '\0';
+  return buf;
+}
+
+}  // namespace fedhisyn

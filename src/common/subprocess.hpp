@@ -1,0 +1,76 @@
+// Subprocess: POSIX fork/exec with piped stdin/stdout, the process-level
+// half of the grid dispatch subsystem (exp/dispatch.*).
+//
+// The child inherits the parent's environment plus explicit "KEY=VALUE"
+// overrides, and inherits stderr directly — worker diagnostics interleave
+// with the parent's progress output instead of vanishing.  stdin/stdout are
+// pipes owned by this object; the protocol running over them is the
+// caller's business.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace fedhisyn {
+
+/// Outcome of waiting on a child: exactly one of `exited` (with `code`) or a
+/// terminating `signal` (0 when exited normally).
+struct ExitStatus {
+  bool exited = false;
+  int code = 0;
+  int signal = 0;
+
+  bool clean() const { return exited && code == 0; }
+};
+
+/// "exit code 3" / "killed by signal 11 (SIGSEGV)" — for error messages.
+std::string describe(const ExitStatus& status);
+
+class Subprocess {
+ public:
+  /// Fork and exec `argv` (argv[0] is the binary path) with stdin/stdout
+  /// piped to the parent and `env_overrides` ("KEY=VALUE") layered over the
+  /// inherited environment.  Check-fails if the pipes or fork fail; a failed
+  /// exec surfaces as the child exiting with code 127.
+  Subprocess(const std::vector<std::string>& argv,
+             const std::vector<std::string>& env_overrides);
+  ~Subprocess();
+
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+
+  pid_t pid() const { return pid_; }
+  /// Parent-side pipe ends; -1 once closed.
+  int stdin_fd() const { return stdin_fd_; }
+  int stdout_fd() const { return stdout_fd_; }
+
+  /// Write all of `data` to the child's stdin.  Returns false when the child
+  /// closed its end (EPIPE) — i.e. it died; check-fails on other errors.
+  bool write_stdin(const std::string& data);
+
+  /// Close the parent's write end (EOF for the child's stdin loop).
+  void close_stdin();
+
+  /// Block until the child exits and reap it.  Idempotent.
+  ExitStatus wait();
+
+  /// True while the child has not been reaped.
+  bool running() const { return pid_ > 0; }
+
+  /// Send a signal (no-op after the child was reaped).
+  void kill(int signum);
+
+ private:
+  pid_t pid_ = -1;
+  int stdin_fd_ = -1;
+  int stdout_fd_ = -1;
+  ExitStatus status_;
+};
+
+/// Absolute path of the running binary (/proc/self/exe), for self-exec
+/// dispatch.  Check-fails if the link cannot be read.
+std::string current_executable_path();
+
+}  // namespace fedhisyn

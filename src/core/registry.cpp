@@ -6,16 +6,14 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "core/fedat.hpp"
+#include "core/fedasync.hpp"
+#include "core/fedavg_family.hpp"
+#include "core/fedhisyn_algo.hpp"
+#include "core/scaffold.hpp"
+#include "core/tafedavg.hpp"
 
 namespace fedhisyn::core {
-
-namespace detail {
-// Defined in factory.cpp next to the built-in FEDHISYN_REGISTER_ALGORITHM
-// invocations.  Calling it from every registry entry point forces the linker
-// to pull factory.o (and with it the registrations) into any binary that
-// uses the registry at all.
-void builtin_algorithms_anchor();
-}  // namespace detail
 
 namespace {
 
@@ -36,6 +34,54 @@ Registry& registry() {
 
 }  // namespace
 
+// Built-in registrations: the seven Table 1 methods plus FedAsync, in the
+// same TU as the lookups so a static-library link can never drop them.
+FEDHISYN_REGISTER_ALGORITHM(
+    "FedHiSyn",
+    "the paper's method: ring circulation inside speed classes, then server "
+    "aggregation",
+    [](const FlContext& ctx) { return std::make_unique<FedHiSynAlgo>(ctx); });
+FEDHISYN_REGISTER_ALGORITHM(
+    "FedAvg", "synchronous baseline: sample-weighted average of all uploads",
+    [](const FlContext& ctx) {
+      return std::make_unique<FedAvgFamily>(ctx, FedAvgVariant::kFedAvg);
+    });
+FEDHISYN_REGISTER_ALGORITHM(
+    "TFedAvg",
+    "time-slotted FedAvg: fast devices fit extra local epochs into the round",
+    [](const FlContext& ctx) {
+      return std::make_unique<FedAvgFamily>(ctx, FedAvgVariant::kTFedAvg);
+    });
+FEDHISYN_REGISTER_ALGORITHM(
+    "FedProx", "FedAvg with a proximal term damping client drift (mu)",
+    [](const FlContext& ctx) {
+      return std::make_unique<FedAvgFamily>(ctx, FedAvgVariant::kFedProx);
+    });
+FEDHISYN_REGISTER_ALGORITHM(
+    "TAFedAvg",
+    "fully asynchronous: the server mixes every upload on arrival at a fixed "
+    "rate (speculative RoundGraph rounds)",
+    [](const FlContext& ctx) { return std::make_unique<TAFedAvgAlgo>(ctx); });
+FEDHISYN_REGISTER_ALGORITHM(
+    "FedAsync",
+    "asynchronous with polynomial staleness damping of each upload "
+    "(speculative RoundGraph rounds)",
+    [](const FlContext& ctx) { return std::make_unique<FedAsyncAlgo>(ctx); });
+FEDHISYN_REGISTER_ALGORITHM(
+    "FedAT", "tiered asynchronism: synchronous within speed tiers, "
+             "asynchronous across them",
+    [](const FlContext& ctx) { return std::make_unique<FedATAlgo>(ctx); });
+FEDHISYN_REGISTER_ALGORITHM(
+    "SCAFFOLD", "control variates correct client drift (2x traffic per "
+                "exchange)",
+    [](const FlContext& ctx) { return std::make_unique<ScaffoldAlgo>(ctx); });
+
+const std::vector<std::string>& table1_methods() {
+  static const std::vector<std::string> methods = {
+      "FedHiSyn", "FedAvg", "FedProx", "FedAT", "SCAFFOLD", "TAFedAvg", "TFedAvg"};
+  return methods;
+}
+
 bool register_algorithm(std::string name, std::string description,
                         AlgorithmFactory factory) {
   FEDHISYN_CHECK_MSG(factory != nullptr, "null factory for '" << name << "'");
@@ -53,7 +99,6 @@ bool register_algorithm(std::string name, std::string description,
 }
 
 std::vector<std::string> registered_methods() {
-  detail::builtin_algorithms_anchor();
   auto& reg = registry();
   std::lock_guard<std::mutex> lock(reg.mutex);
   std::vector<std::string> names;
@@ -63,7 +108,6 @@ std::vector<std::string> registered_methods() {
 }
 
 std::string method_description(const std::string& name) {
-  detail::builtin_algorithms_anchor();
   auto& reg = registry();
   std::lock_guard<std::mutex> lock(reg.mutex);
   const auto it = reg.factories.find(name);
@@ -73,7 +117,6 @@ std::string method_description(const std::string& name) {
 }
 
 bool algorithm_registered(const std::string& name) {
-  detail::builtin_algorithms_anchor();
   auto& reg = registry();
   std::lock_guard<std::mutex> lock(reg.mutex);
   return reg.factories.count(name) > 0;
@@ -81,7 +124,6 @@ bool algorithm_registered(const std::string& name) {
 
 std::unique_ptr<FlAlgorithm> make_algorithm(const std::string& name,
                                             const FlContext& ctx) {
-  detail::builtin_algorithms_anchor();
   AlgorithmFactory factory;
   {
     auto& reg = registry();

@@ -6,10 +6,14 @@
 // registrations up at runtime, so adding a method never touches a central
 // if/else chain again.
 //
-// The built-in registrations live in core/factory.cpp, which registry.cpp
-// anchors into every link (a static library only pulls objects that resolve
-// a symbol — without the anchor a binary calling only make_algorithm would
-// silently see an empty registry).
+// The built-in registrations live in registry.cpp itself, in the same
+// translation unit as the lookup functions — any binary that touches the
+// registry links the registrations with it, so no link-anchor tricks are
+// needed to keep a static library from dropping them.
+//
+// Built-in names: FedHiSyn, FedAvg, TFedAvg, TAFedAvg, FedProx, FedAT,
+// SCAFFOLD, FedAsync (case-sensitive, matching the paper's Table 1
+// columns).
 #pragma once
 
 #include <functional>
@@ -45,6 +49,9 @@ bool algorithm_registered(const std::string& name);
 /// known methods when the name is unknown.
 std::unique_ptr<FlAlgorithm> make_algorithm(const std::string& name,
                                             const FlContext& ctx);
+
+/// The paper's Table 1 column order (a subset of registered_methods()).
+const std::vector<std::string>& table1_methods();
 
 }  // namespace fedhisyn::core
 

@@ -1,0 +1,374 @@
+#include "exp/dispatch.hpp"
+
+#include <algorithm>
+#include <climits>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "common/check.hpp"
+#include "common/env.hpp"
+#include "common/json.hpp"
+#include "common/subprocess.hpp"
+
+namespace fedhisyn::exp {
+
+namespace {
+
+// ----------------------------------------------------------- wire codec --
+
+std::string encode_request(const ExperimentSpec& spec, int attempt) {
+  std::ostringstream out;
+  out << "{\"attempt\":" << attempt << ",\"spec\":" << spec.to_json() << "}";
+  return out.str();
+}
+
+std::string encode_ok_response(const CellResult& cell) {
+  const core::ExperimentResult& result = cell.result;
+  std::ostringstream out;
+  out << "{\"ok\":true,\"seconds\":" << json::fmt_double(cell.seconds)
+      << ",\"algorithm\":\"" << json::escape(result.algorithm) << "\""
+      << ",\"final\":" << json::fmt_float(result.final_accuracy)
+      << ",\"best\":" << json::fmt_float(result.best_accuracy) << ",\"comm\":";
+  if (result.comm_to_target.has_value()) {
+    out << json::fmt_double(*result.comm_to_target);
+  } else {
+    out << "null";
+  }
+  out << ",\"rounds_to_target\":";
+  if (result.rounds_to_target.has_value()) {
+    out << *result.rounds_to_target;
+  } else {
+    out << "null";
+  }
+  out << ",\"history\":[";
+  for (std::size_t i = 0; i < result.history.size(); ++i) {
+    const core::RoundRecord& record = result.history[i];
+    if (i > 0) out << ",";
+    out << "[" << record.round << "," << json::fmt_float(record.accuracy) << ","
+        << json::fmt_double(record.comm_rounds) << ","
+        << json::fmt_double(record.d2d_transfers) << "]";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string encode_error_response(const std::string& message) {
+  return "{\"ok\":false,\"error\":\"" + json::escape(message) + "\"}";
+}
+
+/// Parsed worker reply; `error` empty means ok, and `cell` carries
+/// everything but the spec (the parent knows the spec by index).
+struct Response {
+  std::string error;
+  CellResult cell;
+};
+
+Response parse_response(const std::string& line) {
+  const json::Value doc = json::parse(line);
+  FEDHISYN_CHECK_MSG(doc.kind == json::Value::Kind::kObject,
+                     "worker response is not a JSON object");
+  const json::Value* ok = doc.find("ok");
+  FEDHISYN_CHECK_MSG(ok != nullptr, "worker response lacks 'ok'");
+  Response response;
+  if (!ok->as_bool()) {
+    const json::Value* error = doc.find("error");
+    response.error = error != nullptr ? error->as_string() : "worker reported failure";
+    if (response.error.empty()) response.error = "worker reported failure";
+    return response;
+  }
+  const auto field = [&](const char* name) -> const json::Value& {
+    const json::Value* value = doc.find(name);
+    FEDHISYN_CHECK_MSG(value != nullptr, "worker response lacks '" << name << "'");
+    return *value;
+  };
+  response.cell.seconds = field("seconds").as_double();
+  core::ExperimentResult& result = response.cell.result;
+  result.algorithm = field("algorithm").as_string();
+  result.final_accuracy = field("final").as_float();
+  result.best_accuracy = field("best").as_float();
+  const json::Value& comm = field("comm");
+  if (!comm.is_null()) result.comm_to_target = comm.as_double();
+  const json::Value& rounds = field("rounds_to_target");
+  if (!rounds.is_null()) result.rounds_to_target = static_cast<int>(rounds.as_long());
+  const json::Value& history = field("history");
+  FEDHISYN_CHECK_MSG(history.kind == json::Value::Kind::kArray,
+                     "worker response 'history' is not an array");
+  result.history.reserve(history.items.size());
+  for (const auto& item : history.items) {
+    FEDHISYN_CHECK_MSG(
+        item.kind == json::Value::Kind::kArray && item.items.size() == 4,
+        "worker response history record is not a 4-tuple");
+    core::RoundRecord record;
+    record.round = static_cast<int>(item.items[0].as_long());
+    record.accuracy = item.items[1].as_float();
+    record.comm_rounds = item.items[2].as_double();
+    record.d2d_transfers = item.items[3].as_double();
+    result.history.push_back(record);
+  }
+  return response;
+}
+
+// ---------------------------------------------------------- worker side --
+
+/// FEDHISYN_TEST_CRASH="<label-substring>[:<attempt>]": abort before running
+/// any cell whose label contains the substring, while the request's attempt
+/// number is <= the bound (unbounded when omitted).  Lets tests inject a
+/// crash that heals on retry; inert unless the env var is set.
+void maybe_inject_crash(const std::string& label, int attempt) {
+  const char* value = std::getenv("FEDHISYN_TEST_CRASH");
+  if (value == nullptr || value[0] == '\0') return;
+  std::string token = value;
+  int below_attempt = INT_MAX;
+  const std::size_t colon = token.rfind(':');
+  if (colon != std::string::npos) {
+    char* end = nullptr;
+    const long bound = std::strtol(token.c_str() + colon + 1, &end, 10);
+    if (end != token.c_str() + colon + 1 && *end == '\0' && bound > 0) {
+      below_attempt = static_cast<int>(bound);
+      token = token.substr(0, colon);
+    }
+  }
+  if (label.find(token) != std::string::npos && attempt <= below_attempt) {
+    std::fprintf(stderr, "worker: FEDHISYN_TEST_CRASH hit for '%s' (attempt %d)\n",
+                 label.c_str(), attempt);
+    std::abort();
+  }
+}
+
+void write_all(int fd, const std::string& data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      std::_Exit(3);  // parent is gone; nothing sane left to do
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+/// One worker request: decode, run, encode.  Exceptions become ok:false
+/// responses — a deterministic cell failure must travel back to the parent,
+/// not kill the worker (crashes are what kill the worker).
+std::string handle_request(const std::string& line,
+                           std::string* cached_build_key,
+                           std::shared_ptr<const core::BuiltExperiment>* cached_build) {
+  try {
+    const json::Value doc = json::parse(line);
+    const json::Value* spec_value = doc.find("spec");
+    const json::Value* attempt_value = doc.find("attempt");
+    FEDHISYN_CHECK_MSG(spec_value != nullptr && attempt_value != nullptr,
+                       "worker request lacks 'spec'/'attempt'");
+    const ExperimentSpec spec = ExperimentSpec::from_json(*spec_value);
+    const int attempt = static_cast<int>(attempt_value->as_long());
+    maybe_inject_crash(spec.label(), attempt);
+
+    // Single-entry build cache: consecutive cells of one build (the common
+    // spec-order assignment, e.g. Table 1's per-build method runs) reuse it;
+    // a new build key evicts the old one so worker memory stays bounded.
+    const std::string build_key = spec.build_key();
+    if (*cached_build_key != build_key || *cached_build == nullptr) {
+      *cached_build = build_for(spec);
+      *cached_build_key = build_key;
+    }
+    return encode_ok_response(run_cell(spec, **cached_build));
+  } catch (const std::exception& e) {
+    return encode_error_response(e.what());
+  }
+}
+
+void ignore_sigpipe() {
+  static std::once_flag once;
+  std::call_once(once, [] { std::signal(SIGPIPE, SIG_IGN); });
+}
+
+}  // namespace
+
+int worker_cell_main() {
+  // The protocol owns the real stdout; stray library prints (progress dots,
+  // tables) are re-routed to stderr so they cannot corrupt a response line.
+  const int proto_fd = ::dup(STDOUT_FILENO);
+  FEDHISYN_CHECK_MSG(proto_fd >= 0, "worker cannot dup stdout");
+  ::dup2(STDERR_FILENO, STDOUT_FILENO);
+  ignore_sigpipe();
+
+  std::string cached_build_key;
+  std::shared_ptr<const core::BuiltExperiment> cached_build;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    const std::string response =
+        handle_request(line, &cached_build_key, &cached_build);
+    write_all(proto_fd, response + "\n");
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------- parent side --
+
+ProcessDispatcher::ProcessDispatcher(Options options) : options_(std::move(options)) {}
+
+int ProcessDispatcher::max_attempts_from_env() {
+  const long retries = env_long("FEDHISYN_WORKER_RETRIES", 2);
+  return retries >= 0 ? static_cast<int>(retries) + 1 : 3;
+}
+
+std::vector<CellResult> ProcessDispatcher::run(
+    const std::vector<ExperimentSpec>& specs) const {
+  const std::size_t n = specs.size();
+  std::vector<CellResult> results(n);
+  if (n == 0) return results;
+
+  const std::string binary =
+      options_.worker_binary.empty() ? current_executable_path() : options_.worker_binary;
+  const int max_attempts =
+      options_.max_attempts > 0 ? options_.max_attempts : max_attempts_from_env();
+  const std::size_t workers = std::clamp<std::size_t>(options_.workers, 1, n);
+
+  std::vector<std::string> env;
+  if (options_.threads_per_worker > 0) {
+    env.push_back("FEDHISYN_THREADS=" + std::to_string(options_.threads_per_worker));
+  }
+
+  struct Slot {
+    std::unique_ptr<Subprocess> proc;
+    std::string buf;
+    long cell = -1;  // spec index in flight, -1 when idle
+  };
+  std::vector<Slot> slots(workers);
+  std::deque<std::size_t> pending;
+  for (std::size_t i = 0; i < n; ++i) pending.push_back(i);
+  std::vector<int> attempts(n, 0);
+  std::size_t done = 0;
+
+  const auto spawn = [&](Slot& slot) {
+    slot.proc = std::make_unique<Subprocess>(
+        std::vector<std::string>{binary, "--worker-cell"}, env);
+    slot.buf.clear();
+    slot.cell = -1;
+  };
+
+  /// A worker died (EOF on its stdout).  With a cell in flight this is a
+  /// crash: retry the cell on a fresh worker or give up; without one it is
+  /// the clean exit after stdin EOF.
+  const auto handle_death = [&](Slot& slot) {
+    const ExitStatus status = slot.proc->wait();
+    const long cell = slot.cell;
+    slot.proc.reset();
+    slot.buf.clear();
+    slot.cell = -1;
+    if (cell < 0) return;
+    const std::size_t i = static_cast<std::size_t>(cell);
+    FEDHISYN_CHECK_MSG(
+        attempts[i] < max_attempts,
+        "grid cell '" << specs[i].label() << "' crashed its worker ("
+                      << describe(status) << ") on all " << max_attempts
+                      << " attempt(s) — giving up");
+    std::fprintf(stderr,
+                 "dispatch: worker died (%s) on cell '%s' (attempt %d/%d); retrying\n",
+                 describe(status).c_str(), specs[i].label().c_str(), attempts[i],
+                 max_attempts);
+    pending.push_front(i);
+    spawn(slot);
+  };
+
+  const auto handle_line = [&](Slot& slot, const std::string& line) {
+    FEDHISYN_CHECK_MSG(slot.cell >= 0,
+                       "worker sent an unsolicited response: " << line);
+    const std::size_t i = static_cast<std::size_t>(slot.cell);
+    Response response = parse_response(line);
+    FEDHISYN_CHECK_MSG(response.error.empty(), "grid cell '" << specs[i].label()
+                                                             << "' failed in worker: "
+                                                             << response.error);
+    response.cell.spec = specs[i];
+    results[i] = std::move(response.cell);
+    slot.cell = -1;
+    ++done;
+    if (options_.on_cell) options_.on_cell(done, n, results[i]);
+  };
+
+  for (auto& slot : slots) spawn(slot);
+
+  while (done < n) {
+    // Feed idle workers in spec order (front of the queue first, so retries
+    // run before new work and build locality survives).
+    for (auto& slot : slots) {
+      if (pending.empty()) break;
+      if (slot.proc == nullptr || slot.cell >= 0) continue;
+      const std::size_t i = pending.front();
+      pending.pop_front();
+      ++attempts[i];
+      slot.cell = static_cast<long>(i);
+      if (!slot.proc->write_stdin(encode_request(specs[i], attempts[i]) + "\n")) {
+        // The worker died before taking the request; its EOF is (or will be)
+        // visible on stdout — the poll loop below routes it to handle_death.
+        continue;
+      }
+    }
+    // Once the queue is drained, idle workers get EOF and exit.
+    if (pending.empty()) {
+      for (auto& slot : slots) {
+        if (slot.proc != nullptr && slot.cell < 0) {
+          slot.proc->close_stdin();
+          slot.proc->wait();
+          slot.proc.reset();
+        }
+      }
+    }
+
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> fd_slot;
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      if (slots[s].proc == nullptr) continue;
+      fds.push_back({slots[s].proc->stdout_fd(), POLLIN, 0});
+      fd_slot.push_back(s);
+    }
+    FEDHISYN_CHECK_MSG(!fds.empty(), "dispatch stalled with cells outstanding");
+    const int ready = ::poll(fds.data(), fds.size(), -1);
+    if (ready < 0) {
+      FEDHISYN_CHECK_MSG(errno == EINTR, "poll failed: " << std::strerror(errno));
+      continue;
+    }
+    for (std::size_t f = 0; f < fds.size(); ++f) {
+      if ((fds[f].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      Slot& slot = slots[fd_slot[f]];
+      char buf[65536];
+      const ssize_t got = ::read(slot.proc->stdout_fd(), buf, sizeof(buf));
+      if (got < 0) {
+        FEDHISYN_CHECK_MSG(errno == EINTR, "read from worker failed: "
+                                               << std::strerror(errno));
+        continue;
+      }
+      if (got == 0) {
+        handle_death(slot);
+        continue;
+      }
+      slot.buf.append(buf, static_cast<std::size_t>(got));
+      std::size_t newline;
+      while ((newline = slot.buf.find('\n')) != std::string::npos) {
+        const std::string line = slot.buf.substr(0, newline);
+        slot.buf.erase(0, newline + 1);
+        if (!line.empty()) handle_line(slot, line);
+      }
+    }
+  }
+
+  for (auto& slot : slots) {
+    if (slot.proc == nullptr) continue;
+    slot.proc->close_stdin();
+    slot.proc->wait();
+    slot.proc.reset();
+  }
+  return results;
+}
+
+}  // namespace fedhisyn::exp

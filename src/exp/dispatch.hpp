@@ -1,0 +1,72 @@
+// Process-level grid dispatch: a crash-isolated worker pool behind
+// GridScheduler's CellBackend seam (--dispatch=process / FEDHISYN_DISPATCH).
+//
+// The parent self-execs the current binary in a hidden `--worker-cell` mode
+// (every grid driver reaches it through exp::handle_grid_flags) and keeps a
+// pool of persistent workers.  Each cell travels as one line of JSON over
+// the worker's stdin (ExperimentSpec::to_json) and comes back as one line of
+// JSON over its stdout; the parent collects results in spec order, so output
+// files stay byte-identical to a serial or thread-parallel sweep.
+//
+// Crash isolation: a worker that segfaults, OOMs or otherwise dies mid-cell
+// is reaped, the cell is retried on a fresh worker up to `max_attempts`
+// times, and the sweep keeps moving.  A *deterministic* cell failure (the
+// worker replies ok:false, e.g. an unknown method) is not retried — it is
+// rethrown in the parent exactly like the thread backend rethrows a cell
+// exception.
+//
+// Wire protocol (one JSON object per line, floats exact via %.9g/%.17g):
+//   parent -> worker  {"attempt":A,"spec":{...}}
+//   worker -> parent  {"ok":true,"seconds":S,"algorithm":"...","final":F,
+//                      "best":B,"comm":C|null,"rounds_to_target":R|null,
+//                      "history":[[round,acc,comm,d2d],...]}
+//   worker -> parent  {"ok":false,"error":"..."}
+// The codec is deliberately host-agnostic: nothing in it assumes the worker
+// shares memory, a filesystem or even a machine with the parent.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/scheduler.hpp"
+
+namespace fedhisyn::exp {
+
+class ProcessDispatcher {
+ public:
+  struct Options {
+    /// Concurrent worker processes (clamped to the number of cells).
+    std::size_t workers = 1;
+    /// FEDHISYN_THREADS handed to each worker; 0 = inherit the parent's env.
+    std::size_t threads_per_worker = 0;
+    /// Total tries per cell before the sweep fails; 0 resolves
+    /// 1 + FEDHISYN_WORKER_RETRIES (default 3).
+    int max_attempts = 0;
+    /// Binary to self-exec; empty = current_executable_path().
+    std::string worker_binary;
+    /// Per-finished-cell callback, (done, total, cell), completion order.
+    std::function<void(std::size_t, std::size_t, const CellResult&)> on_cell;
+  };
+
+  explicit ProcessDispatcher(Options options);
+
+  /// Run every spec on the worker pool; results[i] corresponds to specs[i].
+  std::vector<CellResult> run(const std::vector<ExperimentSpec>& specs) const;
+
+  /// 1 + FEDHISYN_WORKER_RETRIES when positive, else 3.
+  static int max_attempts_from_env();
+
+ private:
+  Options options_;
+};
+
+/// Entry point of the hidden --worker-cell mode: read spec lines from stdin,
+/// run each cell, answer with one result line per cell on the real stdout
+/// (stray library prints are re-routed to stderr), until EOF.  Returns the
+/// process exit code.  Reached via exp::handle_grid_flags in every grid
+/// driver, or directly from a custom main (see tests/dispatch_test.cpp).
+int worker_cell_main();
+
+}  // namespace fedhisyn::exp

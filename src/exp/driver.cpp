@@ -1,12 +1,16 @@
 #include "exp/driver.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
 #include "core/registry.hpp"
+#include "exp/dispatch.hpp"
 #include "exp/scheduler.hpp"
+#include "exp/sinks.hpp"
 
 namespace fedhisyn::exp {
 
@@ -30,6 +34,12 @@ std::vector<std::string> split_list(const std::string& text) {
 }  // namespace
 
 GridDriverOptions handle_grid_flags(const Flags& flags) {
+  if (flags.get_bool("worker-cell")) {
+    // Hidden dispatch-worker mode: the process-backend parent self-execs
+    // this binary with --worker-cell and speaks the exp/dispatch.hpp
+    // protocol over stdin/stdout.  Never returns to the driver.
+    std::exit(worker_cell_main());
+  }
   if (flags.get_bool("list-methods")) {
     for (const auto& method : core::registered_methods()) {
       std::printf("%-10s %s\n", method.c_str(),
@@ -60,7 +70,110 @@ GridDriverOptions handle_grid_flags(const Flags& flags) {
       flags.get_long("grid-jobs", static_cast<long>(GridScheduler::jobs_from_env()));
   options.grid_jobs = jobs > 0 ? static_cast<std::size_t>(jobs) : 1;
   options.out = flags.get("out", "");
+  if (flags.has("dispatch")) {
+    const std::string mode = flags.get("dispatch", "thread");
+    FEDHISYN_CHECK_MSG(mode == "thread" || mode == "process",
+                       "--dispatch takes thread|process, got '" << mode << "'");
+    options.dispatch =
+        mode == "process" ? CellBackend::kProcess : CellBackend::kThread;
+  }
+  options.resume = flags.get_bool("resume");
+  options.quiet = flags.get_bool("quiet");
   return options;
+}
+
+std::vector<CellResult> run_grid(const std::vector<ExperimentSpec>& specs,
+                                 const GridDriverOptions& options) {
+  const std::size_t total = specs.size();
+  std::vector<CellResult> results(total);
+  const bool csv = is_csv_path(options.out);
+  const bool streaming = !options.out.empty() && !csv;
+  FEDHISYN_CHECK_MSG(!options.resume || streaming,
+                     "--resume needs --out pointing at a JSONL results file "
+                     "(CSV rows carry no spec key)");
+
+  // Resume: finished cells are identified by spec key; their verbatim lines
+  // are kept for the final rewrite so resumed bytes never churn.
+  std::vector<bool> resumed(total, false);
+  std::vector<std::string> resumed_lines(total);
+  std::size_t resumed_count = 0;
+  if (options.resume) {
+    std::map<std::string, ScannedResult> by_key;
+    for (auto& scanned : scan_results(options.out)) {
+      by_key[scanned.key] = std::move(scanned);
+    }
+    for (std::size_t i = 0; i < total; ++i) {
+      const auto it = by_key.find(specs[i].to_key());
+      if (it == by_key.end()) continue;
+      resumed[i] = true;
+      resumed_lines[i] = it->second.line;
+      ++resumed_count;
+      results[i].spec = specs[i];
+      results[i].result.algorithm = specs[i].method;
+      results[i].result.final_accuracy = it->second.final_accuracy;
+      results[i].result.best_accuracy = it->second.best_accuracy;
+      results[i].result.comm_to_target = it->second.comm_to_target;
+      results[i].result.rounds_to_target = it->second.rounds_to_target;
+    }
+    if (!options.quiet && resumed_count > 0) {
+      std::fprintf(stderr, "resume: %zu/%zu cells already complete in %s\n",
+                   resumed_count, total, options.out.c_str());
+    }
+    // An interrupted append may have left a partial final line with no
+    // newline; close it off so the first fresh line cannot glue onto it.
+    terminate_partial_line(options.out);
+  } else if (streaming) {
+    // Fresh sweep: start the streaming sink empty (atomically, so a stale
+    // file from an earlier run can never be half-mixed with this one).
+    write_lines_atomic(options.out, {});
+  }
+
+  std::vector<ExperimentSpec> pending_specs;
+  std::vector<std::size_t> pending_index;
+  for (std::size_t i = 0; i < total; ++i) {
+    if (resumed[i]) continue;
+    pending_specs.push_back(specs[i]);
+    pending_index.push_back(i);
+  }
+
+  if (!pending_specs.empty()) {
+    const auto start = std::chrono::steady_clock::now();
+    GridScheduler::Options sched;
+    sched.jobs = options.grid_jobs;
+    sched.backend = options.dispatch;
+    // Serialised by the scheduler (both backends), so the append-order in
+    // the streaming sink is completion order; the final rewrite below
+    // restores spec order.
+    sched.on_cell = [&](std::size_t done, std::size_t count, const CellResult& cell) {
+      if (streaming) append_result_line(options.out, to_jsonl_line(cell));
+      if (options.quiet) return;
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+              .count();
+      const double eta = elapsed / static_cast<double>(done) *
+                         static_cast<double>(count - done);
+      std::fprintf(stderr, "[%zu/%zu] %s  %.1fs  eta %.0fs\n", done, count,
+                   cell.spec.label().c_str(), cell.seconds, eta);
+    };
+    auto fresh = GridScheduler(sched).run(pending_specs);
+    for (std::size_t k = 0; k < fresh.size(); ++k) {
+      results[pending_index[k]] = std::move(fresh[k]);
+    }
+  }
+
+  if (!options.out.empty()) {
+    if (csv) {
+      write_results(options.out, results);
+    } else {
+      std::vector<std::string> lines;
+      lines.reserve(total);
+      for (std::size_t i = 0; i < total; ++i) {
+        lines.push_back(resumed[i] ? resumed_lines[i] : to_jsonl_line(results[i]));
+      }
+      write_lines_atomic(options.out, lines);
+    }
+  }
+  return results;
 }
 
 std::vector<std::string> list_flag(const Flags& flags, const std::string& key,

@@ -3,13 +3,25 @@
 //
 //   --threads N       worker-thread budget (FEDHISYN_THREADS env fallback)
 //   --grid-jobs N     concurrent grid cells (FEDHISYN_GRID_JOBS fallback; 1)
+//   --dispatch MODE   thread | process: run cells on in-process worker
+//                     threads (default) or on a crash-isolated pool of
+//                     worker processes (FEDHISYN_DISPATCH fallback); output
+//                     is byte-identical either way
 //   --out PATH        per-cell results, JSONL by default, CSV if *.csv
+//   --resume          scan an existing --out JSONL for finished cells (by
+//                     spec key) and run only the rest; resumed lines are
+//                     re-emitted verbatim, so the final file is
+//                     byte-identical to an uninterrupted sweep
+//   --quiet           suppress the per-cell progress lines on stderr
 //   --speculate on|off
 //                     async rounds on the speculative RoundGraph engine (on,
 //                     the default) or the legacy serial drain (off); results
 //                     are byte-identical (FEDHISYN_SPECULATE fallback)
 //   --list-methods    print the registered algorithms (one description line
 //                     each) and exit
+//   --worker-cell     hidden: become a dispatch worker (stdin/stdout
+//                     protocol, see exp/dispatch.hpp); used by
+//                     --dispatch=process to self-exec this binary
 //
 // Grid-restriction flags replace the old FEDHISYN_TABLE1_* getenv knobs;
 // the env vars remain as fallbacks for CI compatibility:
@@ -25,6 +37,7 @@
 
 #include "common/flags.hpp"
 #include "data/partition.hpp"
+#include "exp/scheduler.hpp"
 
 namespace fedhisyn::exp {
 
@@ -32,12 +45,33 @@ struct GridDriverOptions {
   std::size_t grid_jobs = 1;
   /// Empty = no results file.
   std::string out;
+  /// Cell execution backend (--dispatch; kAuto resolves FEDHISYN_DISPATCH).
+  CellBackend dispatch = CellBackend::kAuto;
+  /// Skip cells whose spec key already sits in the --out JSONL.
+  bool resume = false;
+  /// Suppress the per-cell progress lines on stderr.
+  bool quiet = false;
 };
 
-/// Apply the flags shared by every grid driver: resize the global pool for
-/// --threads, resolve --grid-jobs (FEDHISYN_GRID_JOBS fallback), capture
-/// --out, and handle --list-methods (prints and exits).
+/// Apply the flags shared by every grid driver: enter the hidden
+/// --worker-cell mode when requested, resize the global pool for --threads,
+/// resolve --grid-jobs / --dispatch / --resume / --quiet, capture --out, and
+/// handle --list-methods (prints and exits).
 GridDriverOptions handle_grid_flags(const Flags& flags);
+
+/// Run a grid the standard way: honour --resume (scan `options.out` for
+/// finished cells and run only the rest), stream each finished cell's JSONL
+/// line to `options.out` as it completes (append-safe, so an interrupted
+/// sweep is resumable), print per-cell progress with an ETA to stderr
+/// (unless --quiet), and finally rewrite `options.out` atomically in spec
+/// order — byte-identical across serial, --grid-jobs N and
+/// --dispatch=process runs, interrupted or not.
+///
+/// Returns one CellResult per spec, in spec order.  Resumed cells carry the
+/// headline metrics parsed back from the file but an empty per-round
+/// history (the JSONL sink does not serialise trajectories).
+std::vector<CellResult> run_grid(const std::vector<ExperimentSpec>& specs,
+                                 const GridDriverOptions& options);
 
 /// Comma-separated list flag with an env-var fallback: the flag value when
 /// present, else the env var `env_fallback` (when non-null and set), else

@@ -6,10 +6,14 @@
 #include <mutex>
 #include <thread>
 
+#include <cstdlib>
+#include <cstring>
+
 #include "common/check.hpp"
 #include "common/env.hpp"
 #include "common/parallel.hpp"
 #include "core/registry.hpp"
+#include "exp/dispatch.hpp"
 
 namespace fedhisyn::exp {
 
@@ -83,6 +87,16 @@ std::size_t GridScheduler::jobs_from_env() {
   return jobs > 0 ? static_cast<std::size_t>(jobs) : 1;
 }
 
+CellBackend GridScheduler::backend_from_env() {
+  const char* value = std::getenv("FEDHISYN_DISPATCH");
+  if (value == nullptr || value[0] == '\0' || std::strcmp(value, "thread") == 0) {
+    return CellBackend::kThread;
+  }
+  FEDHISYN_CHECK_MSG(std::strcmp(value, "process") == 0,
+                     "FEDHISYN_DISPATCH takes thread|process, got '" << value << "'");
+  return CellBackend::kProcess;
+}
+
 std::size_t GridScheduler::resolved_jobs(std::size_t cells) const {
   std::size_t jobs = options_.jobs > 0 ? options_.jobs : jobs_from_env();
   if (jobs > cells) jobs = cells;
@@ -100,6 +114,23 @@ std::vector<CellResult> GridScheduler::run(
     const std::vector<ExperimentSpec>& specs) const {
   std::vector<CellResult> results(specs.size());
   if (specs.empty()) return results;
+
+  const CellBackend backend = options_.backend == CellBackend::kAuto
+                                  ? backend_from_env()
+                                  : options_.backend;
+  if (backend == CellBackend::kProcess) {
+    // Same two-level budget as the thread backend, but each job slot is a
+    // self-exec'd worker process (crash-isolated, retried); collection stays
+    // in spec order, so the two backends emit byte-identical results.
+    const std::size_t jobs = resolved_jobs(specs.size());
+    ProcessDispatcher::Options dispatch;
+    dispatch.workers = jobs;
+    dispatch.threads_per_worker = inner_threads(jobs);
+    dispatch.max_attempts = options_.max_attempts;
+    dispatch.worker_binary = options_.worker_binary;
+    dispatch.on_cell = options_.on_cell;
+    return ProcessDispatcher(std::move(dispatch)).run(specs);
+  }
 
   BuildCache cache;
   std::mutex progress_mutex;

@@ -57,6 +57,16 @@ CellResult run_cell(const ExperimentSpec& spec, const core::BuiltExperiment& bui
 /// Convenience: build then run.
 CellResult run_cell(const ExperimentSpec& spec, const CellHooks& hooks = {});
 
+/// How GridScheduler executes cells:
+///   kThread   worker threads in this process (the default);
+///   kProcess  a crash-isolated pool of self-exec'd worker processes
+///             (exp/dispatch.hpp) — a crashing worker (segfault, OOM kill)
+///             cannot take the sweep down, and results stay byte-identical
+///             (a worker that *hangs* without dying still blocks the
+///             sweep: there is no per-cell deadline);
+///   kAuto     resolve FEDHISYN_DISPATCH ("process"/"thread"; default thread).
+enum class CellBackend { kAuto, kThread, kProcess };
+
 class GridScheduler {
  public:
   struct Options {
@@ -68,6 +78,13 @@ class GridScheduler {
     std::size_t total_threads = 0;
     /// Share BuiltExperiments between cells with equal build_key().
     bool share_builds = true;
+    /// Cell execution backend (--dispatch / FEDHISYN_DISPATCH).
+    CellBackend backend = CellBackend::kAuto;
+    /// Process backend: tries per cell before the sweep fails (0 resolves
+    /// 1 + FEDHISYN_WORKER_RETRIES) and the binary to self-exec (empty =
+    /// the running binary; tests point it at themselves explicitly).
+    int max_attempts = 0;
+    std::string worker_binary;
     /// Progress callback, invoked once per finished cell (serialised, in
     /// completion order): (cells done, cells total, the cell).
     std::function<void(std::size_t, std::size_t, const CellResult&)> on_cell;
@@ -88,6 +105,10 @@ class GridScheduler {
 
   /// FEDHISYN_GRID_JOBS when set to a positive integer, else 1.
   static std::size_t jobs_from_env();
+
+  /// FEDHISYN_DISPATCH: kProcess for "process", kThread otherwise
+  /// (including unset); check-fails on an unrecognised value.
+  static CellBackend backend_from_env();
 
  private:
   Options options_;

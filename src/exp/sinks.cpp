@@ -1,10 +1,16 @@
 #include "exp/sinks.hpp"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include "common/check.hpp"
+#include "common/json.hpp"
 
 namespace fedhisyn::exp {
 
@@ -84,15 +90,94 @@ std::string to_csv_row(const CellResult& cell) {
   return out.str();
 }
 
-void write_results(const std::string& path, const std::vector<CellResult>& cells) {
-  std::ofstream out(path);
-  FEDHISYN_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
-  const bool csv =
-      path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
-  if (csv) out << csv_header() << "\n";
-  for (const auto& cell : cells) {
-    out << (csv ? to_csv_row(cell) : to_jsonl_line(cell)) << "\n";
+void write_lines_atomic(const std::string& path, const std::vector<std::string>& lines) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    FEDHISYN_CHECK_MSG(out.good(), "cannot open '" << tmp << "' for writing");
+    for (const auto& line : lines) out << line << "\n";
+    out.flush();
+    FEDHISYN_CHECK_MSG(out.good(), "short write to '" << tmp << "'");
   }
+  FEDHISYN_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+                     "cannot rename '" << tmp << "' over '" << path
+                                       << "': " << std::strerror(errno));
+}
+
+bool is_csv_path(const std::string& path) {
+  return path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+}
+
+void write_results(const std::string& path, const std::vector<CellResult>& cells) {
+  const bool csv = is_csv_path(path);
+  std::vector<std::string> lines;
+  lines.reserve(cells.size() + (csv ? 1 : 0));
+  if (csv) lines.push_back(csv_header());
+  for (const auto& cell : cells) {
+    lines.push_back(csv ? to_csv_row(cell) : to_jsonl_line(cell));
+  }
+  write_lines_atomic(path, lines);
+}
+
+void append_result_line(const std::string& path, const std::string& line) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+  FEDHISYN_CHECK_MSG(fd >= 0, "cannot open '" << path << "' for appending: "
+                                              << std::strerror(errno));
+  const std::string data = line + "\n";
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      ::close(fd);
+      FEDHISYN_CHECK_MSG(false, "append to '" << path
+                                              << "' failed: " << std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+}
+
+void terminate_partial_line(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return;
+  in.seekg(0, std::ios::end);
+  if (in.tellg() <= 0) return;
+  in.seekg(-1, std::ios::end);
+  char last = '\n';
+  in.get(last);
+  in.close();
+  if (last != '\n') append_result_line(path, "");
+}
+
+std::vector<ScannedResult> scan_results(const std::string& path) {
+  std::vector<ScannedResult> scanned;
+  std::ifstream in(path);
+  if (!in.good()) return scanned;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto doc = json::try_parse(line);
+    if (!doc.has_value() || doc->kind != json::Value::Kind::kObject) continue;
+    const json::Value* key = doc->find("key");
+    const json::Value* final_acc = doc->find("final_accuracy");
+    const json::Value* best_acc = doc->find("best_accuracy");
+    const json::Value* comm = doc->find("comm_to_target");
+    const json::Value* rounds = doc->find("rounds_to_target");
+    if (key == nullptr || final_acc == nullptr || best_acc == nullptr ||
+        comm == nullptr || rounds == nullptr) {
+      continue;
+    }
+    ScannedResult result;
+    result.key = key->as_string();
+    result.line = line;
+    result.final_accuracy = final_acc->as_float();
+    result.best_accuracy = best_acc->as_float();
+    if (!comm->is_null()) result.comm_to_target = comm->as_double();
+    if (!rounds->is_null()) result.rounds_to_target = static_cast<int>(rounds->as_long());
+    scanned.push_back(std::move(result));
+  }
+  return scanned;
 }
 
 }  // namespace fedhisyn::exp

@@ -7,6 +7,7 @@
 // run serialises identically to a serial one (CI diffs the two).
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,8 +25,48 @@ std::string csv_header();
 /// rounds_to_target are empty when the target was never reached.
 std::string to_csv_row(const CellResult& cell);
 
+/// True when `path` selects the CSV format (".csv" suffix) — the single
+/// definition shared by write_results and the run_grid streaming/resume
+/// logic, so the two can never disagree on a file's format.
+bool is_csv_path(const std::string& path);
+
 /// Serialise all cells: path ending in ".csv" selects CSV (with header),
-/// anything else JSONL.  Check-fails if the file cannot be opened.
+/// anything else JSONL.  Atomic: writes "<path>.tmp" and renames it over
+/// `path`, so an interrupted sweep never leaves a truncated file a later
+/// --resume would mis-read.  Check-fails if the file cannot be written.
 void write_results(const std::string& path, const std::vector<CellResult>& cells);
+
+/// Atomically replace `path` with `lines` (one per line, tmp + rename).
+/// The verbatim-line primitive under write_results and the --resume rewrite.
+void write_lines_atomic(const std::string& path, const std::vector<std::string>& lines);
+
+/// Append one line to a streaming JSONL sink as a single O_APPEND write: a
+/// crash mid-sweep leaves at most one truncated final line, which the
+/// --resume scanner skips.  Creates the file when absent.
+void append_result_line(const std::string& path, const std::string& line);
+
+/// If `path` exists and its last byte is not a newline (an interrupted
+/// append), add one — so a resumed sweep's first fresh line cannot glue
+/// onto the partial line and become unparseable itself.
+void terminate_partial_line(const std::string& path);
+
+/// One JSONL line parsed back for --resume: the spec key that identifies the
+/// finished cell, the verbatim line (re-emitted on the final spec-order
+/// rewrite so resumed bytes never churn), and the headline metrics so
+/// drivers can still render their tables.  Per-round history is not
+/// serialised — resumed cells come back with an empty history.
+struct ScannedResult {
+  std::string key;
+  std::string line;
+  float final_accuracy = 0.0f;
+  float best_accuracy = 0.0f;
+  std::optional<double> comm_to_target;
+  std::optional<int> rounds_to_target;
+};
+
+/// Scan an existing JSONL results file for finished cells.  Malformed or
+/// truncated lines (an interrupted append) are skipped, not fatal.  A
+/// missing file yields an empty vector.
+std::vector<ScannedResult> scan_results(const std::string& path);
 
 }  // namespace fedhisyn::exp

@@ -14,6 +14,10 @@
 #include "core/options.hpp"
 #include "core/presets.hpp"
 
+namespace fedhisyn::json {
+struct Value;
+}
+
 namespace fedhisyn::exp {
 
 /// Compact locale-independent float rendering ("%g") shared by spec
@@ -58,6 +62,20 @@ struct ExperimentSpec {
   /// build_key() plus method, hyper-parameters and measurement knobs.  Equal
   /// keys mean byte-identical results; use for dedup and caching.
   std::string to_key() const;
+
+  /// JSON wire codec for process-level dispatch (exp/dispatch.*): one-line
+  /// JSON object covering every spec field, floats rendered exactly
+  /// ("%.9g"/"%.17g") so from_json(to_json(s)) reproduces s bit-for-bit —
+  /// the host-agnostic half of the worker protocol.
+  std::string to_json() const;
+
+  /// Strict inverse of to_json(): check-fails on missing or unknown fields
+  /// (a field-set mismatch means parent and worker binaries disagree on the
+  /// protocol, which must stop the sweep, not corrupt it).
+  static ExperimentSpec from_json(const std::string& text);
+  /// Same, from an already-parsed JSON object (the worker protocol embeds
+  /// the spec inside a request envelope).
+  static ExperimentSpec from_json(const json::Value& doc);
 };
 
 }  // namespace fedhisyn::exp

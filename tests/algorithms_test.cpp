@@ -1,5 +1,5 @@
 // Integration tests for the seven FL algorithms: construction via the
-// factory, convergence on a small separable problem, communication
+// registry, convergence on a small separable problem, communication
 // accounting invariants, determinism, and the paper's qualitative claims on
 // a miniature scale (FedHiSyn ring circulation mixes Non-IID knowledge).
 #include <gtest/gtest.h>
@@ -8,7 +8,7 @@
 
 #include "common/check.hpp"
 #include "core/decentral.hpp"
-#include "core/factory.hpp"
+#include "core/registry.hpp"
 #include "core/fedhisyn_algo.hpp"
 #include "core/runner.hpp"
 #include "data/partition.hpp"

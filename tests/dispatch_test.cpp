@@ -1,0 +1,429 @@
+// Tests for the process-level grid dispatch subsystem: the ExperimentSpec
+// JSON wire codec (exact round-trip across every grid axis), thread- vs
+// process- vs serial-backend byte-identity, crash isolation (a worker killed
+// mid-cell is retried and the sweep survives), --resume semantics, and the
+// atomic / append-safe result sinks.
+//
+// This binary has a custom main: invoked with --worker-cell it becomes a
+// dispatch worker (the ProcessDispatcher self-execs the running binary, i.e.
+// this test), otherwise it runs the gtest suites.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/check.hpp"
+#include "common/json.hpp"
+#include "common/subprocess.hpp"
+#include "exp/dispatch.hpp"
+#include "exp/driver.hpp"
+#include "exp/grid.hpp"
+#include "exp/scheduler.hpp"
+#include "exp/sinks.hpp"
+
+namespace fedhisyn::exp {
+namespace {
+
+/// A grid whose cells run in well under a second: 6 devices, 2 rounds.
+ExperimentGrid tiny_grid() {
+  ExperimentGrid grid;
+  grid.base().with_seed(11);
+  grid.base().build.scale.devices = 6;
+  grid.base().build.scale.train_samples_per_device = 20;
+  grid.base().build.scale.test_samples = 60;
+  grid.base().build.scale.rounds = 2;
+  grid.base().build.mlp_hidden = {8};
+  grid.base().opts.local_epochs = 1;
+  grid.base().opts.batch_size = 10;
+  grid.base().opts.clusters = 2;
+  grid.base().target = 0.999f;
+  return grid;
+}
+
+/// RAII env override (restores the previous value, or unsets).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+void write_file(const std::string& path, const std::vector<std::string>& lines,
+                bool trailing_newline = true) {
+  std::ofstream out(path, std::ios::trunc);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    out << lines[i];
+    if (i + 1 < lines.size() || trailing_newline) out << "\n";
+  }
+}
+
+// ------------------------------------------------------------ wire codec --
+
+TEST(SpecJson, RoundTripAcrossEveryGridAxis) {
+  ExperimentGrid grid;
+  grid.base().build.scale.devices = 9;
+  grid.base().build.scale.rounds = 3;
+  grid.base().build.mlp_hidden = {16, 8};
+  grid.datasets({"mnist", "cifar100"})
+      .participations({1.0, 0.1})
+      .partitions({{true, 0.0}, {false, 0.3}})
+      .methods({"FedAvg", "FedHiSyn"})
+      .clusters({1, 5})
+      .heterogeneity_ratios({2.0, 10.0})
+      .seeds({11, 17});
+  const auto specs = grid.expand();
+  ASSERT_EQ(specs.size(), 2u * 2 * 2 * 2 * 2 * 2 * 2);
+  for (const auto& spec : specs) {
+    const std::string wire = spec.to_json();
+    const ExperimentSpec back = ExperimentSpec::from_json(wire);
+    EXPECT_EQ(back.to_json(), wire);
+    EXPECT_EQ(back.to_key(), spec.to_key());
+    EXPECT_EQ(back.build_key(), spec.build_key());
+    EXPECT_EQ(back.label(), spec.label());
+  }
+}
+
+TEST(SpecJson, RoundTripPreservesEveryOffDefaultKnob) {
+  ExperimentSpec spec;
+  spec.with_seed(12345);
+  spec.build.dataset = "emnist";
+  spec.build.scale = {33, 77, 123, 19};
+  spec.build.partition = {false, 0.61803398874989484};  // needs %.17g exactness
+  spec.build.fleet_kind = core::FleetKind::kHomogeneous;
+  spec.build.fleet_ratio_h = 3.5;
+  spec.build.use_cnn = true;
+  spec.build.mlp_hidden = {};
+  spec.method = "SCAFFOLD";
+  spec.opts.lr = 0.123456789f;
+  spec.opts.batch_size = 7;
+  spec.opts.local_epochs = 3;
+  spec.opts.participation = 1.0 / 3.0;
+  spec.opts.clusters = 4;
+  spec.opts.aggregation = core::AggregationRule::kTimeWeighted;
+  spec.opts.ring_order = sim::RingOrder::kLargeToSmall;
+  spec.opts.direct_use = false;
+  spec.opts.prox_mu = 0.007f;
+  spec.opts.momentum = 0.9f;
+  spec.opts.async_alpha = 0.125f;
+  spec.opts.speculate = false;
+  spec.target = 0.87654321f;
+  spec.eval_every = 4;
+
+  const ExperimentSpec back = ExperimentSpec::from_json(spec.to_json());
+  EXPECT_EQ(back.to_json(), spec.to_json());
+  EXPECT_EQ(back.to_key(), spec.to_key());
+  EXPECT_EQ(back.build.partition.beta, spec.build.partition.beta);  // bit-exact
+  EXPECT_EQ(back.opts.lr, spec.opts.lr);
+  EXPECT_EQ(back.opts.participation, spec.opts.participation);
+  EXPECT_EQ(back.build.fleet_kind, core::FleetKind::kHomogeneous);
+  EXPECT_FALSE(back.opts.direct_use);
+  EXPECT_FALSE(back.opts.speculate);
+  EXPECT_TRUE(back.build.mlp_hidden.empty());
+}
+
+TEST(SpecJson, MissingAndUnknownFieldsAreRejected) {
+  EXPECT_THROW(ExperimentSpec::from_json("{}"), CheckError);
+  EXPECT_THROW(ExperimentSpec::from_json("not json"), CheckError);
+  ExperimentSpec spec;
+  std::string wire = spec.to_json();
+  wire.insert(wire.size() - 1, ",\"from_the_future\":1");
+  EXPECT_THROW(ExperimentSpec::from_json(wire), CheckError);
+}
+
+// -------------------------------------------------------------- dispatch --
+
+TEST(Dispatch, ProcessMatchesThreadAndSerialByteIdentical) {
+  auto grid = tiny_grid();
+  grid.datasets({"mnist"}).methods({"FedHiSyn", "FedAvg", "SCAFFOLD", "FedAT"});
+  const auto specs = grid.expand();
+
+  GridScheduler::Options serial_options;
+  serial_options.jobs = 1;
+  serial_options.backend = CellBackend::kThread;
+  const auto serial = GridScheduler(serial_options).run(specs);
+
+  GridScheduler::Options thread_options;
+  thread_options.jobs = 2;
+  thread_options.backend = CellBackend::kThread;
+  const auto threaded = GridScheduler(thread_options).run(specs);
+
+  GridScheduler::Options process_options;
+  process_options.jobs = 2;
+  process_options.backend = CellBackend::kProcess;
+  const auto process = GridScheduler(process_options).run(specs);
+
+  ASSERT_EQ(serial.size(), process.size());
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    // Byte-level: the exact strings the --out sinks would emit.
+    EXPECT_EQ(to_jsonl_line(serial[i]), to_jsonl_line(threaded[i])) << i;
+    EXPECT_EQ(to_jsonl_line(serial[i]), to_jsonl_line(process[i])) << i;
+    EXPECT_EQ(to_csv_row(serial[i]), to_csv_row(process[i])) << i;
+    // The wire codec ships the full trajectory bit-exactly.
+    ASSERT_EQ(serial[i].result.history.size(), process[i].result.history.size()) << i;
+    for (std::size_t r = 0; r < serial[i].result.history.size(); ++r) {
+      EXPECT_EQ(serial[i].result.history[r].round, process[i].result.history[r].round);
+      EXPECT_EQ(serial[i].result.history[r].accuracy,
+                process[i].result.history[r].accuracy);
+      EXPECT_EQ(serial[i].result.history[r].comm_rounds,
+                process[i].result.history[r].comm_rounds);
+      EXPECT_EQ(serial[i].result.history[r].d2d_transfers,
+                process[i].result.history[r].d2d_transfers);
+    }
+  }
+}
+
+TEST(Dispatch, CrashedWorkerIsRetriedAndTheSweepSurvives) {
+  auto grid = tiny_grid();
+  grid.methods({"FedHiSyn", "FedAvg", "FedAT"});
+  const auto specs = grid.expand();
+
+  GridScheduler::Options clean_options;
+  clean_options.jobs = 1;
+  clean_options.backend = CellBackend::kThread;
+  const auto clean = GridScheduler(clean_options).run(specs);
+
+  // Workers abort the FedAvg cell on attempt 1; attempt 2 must heal it.
+  ScopedEnv crash("FEDHISYN_TEST_CRASH", "FedAvg:1");
+  GridScheduler::Options process_options;
+  process_options.jobs = 2;
+  process_options.backend = CellBackend::kProcess;
+  const auto process = GridScheduler(process_options).run(specs);
+
+  ASSERT_EQ(clean.size(), process.size());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    EXPECT_EQ(to_jsonl_line(clean[i]), to_jsonl_line(process[i])) << i;
+  }
+}
+
+TEST(Dispatch, UnhealableCrashExhaustsRetriesAndThrows) {
+  auto grid = tiny_grid();
+  grid.methods({"FedHiSyn", "FedAvg"});
+  ScopedEnv crash("FEDHISYN_TEST_CRASH", "FedAvg");  // crashes on every attempt
+  GridScheduler::Options options;
+  options.jobs = 1;
+  options.backend = CellBackend::kProcess;
+  options.max_attempts = 2;
+  try {
+    GridScheduler(options).run(grid.expand());
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("FedAvg"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("giving up"), std::string::npos);
+  }
+}
+
+TEST(Dispatch, DeterministicCellFailurePropagatesWithoutRetry) {
+  auto grid = tiny_grid();
+  grid.methods({"FedBogus"});
+  GridScheduler::Options options;
+  options.jobs = 1;
+  options.backend = CellBackend::kProcess;
+  try {
+    GridScheduler(options).run(grid.expand());
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("failed in worker"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("FedBogus"), std::string::npos);
+  }
+}
+
+TEST(Dispatch, MaxAttemptsResolvesFromEnv) {
+  EXPECT_EQ(ProcessDispatcher::max_attempts_from_env(), 3);  // default: 2 retries
+  ScopedEnv retries("FEDHISYN_WORKER_RETRIES", "5");
+  EXPECT_EQ(ProcessDispatcher::max_attempts_from_env(), 6);
+}
+
+// ---------------------------------------------------------------- resume --
+
+TEST(RunGrid, ResumeSkipsCompletedCellsAndReproducesTheFileByteExactly) {
+  auto grid = tiny_grid();
+  grid.methods({"FedHiSyn", "FedAvg", "FedAT"});
+  const auto specs = grid.expand();
+  const std::string full_path = "dispatch_test_full.jsonl";
+  const std::string resume_path = "dispatch_test_resume.jsonl";
+
+  GridDriverOptions full_options;
+  full_options.out = full_path;
+  full_options.quiet = true;
+  const auto full = run_grid(specs, full_options);
+  ASSERT_EQ(full.size(), specs.size());
+  const auto full_lines = read_lines(full_path);
+  ASSERT_EQ(full_lines.size(), specs.size());
+
+  // Interrupted sweep: the first two cells finished, the third line was cut
+  // mid-append (the scanner must skip it, not choke).
+  write_file(resume_path,
+             {full_lines[0], full_lines[1], full_lines[2].substr(0, 25)},
+             /*trailing_newline=*/false);
+
+  // The resumed run executes on the process backend with the two finished
+  // methods booby-trapped: if --resume failed to skip them, their workers
+  // would crash on every attempt and the run could not succeed.
+  ScopedEnv crash("FEDHISYN_TEST_CRASH", "FedHiSyn");
+  GridDriverOptions resume_options;
+  resume_options.out = resume_path;
+  resume_options.quiet = true;
+  resume_options.resume = true;
+  resume_options.dispatch = CellBackend::kProcess;
+  const auto resumed = run_grid(specs, resume_options);
+
+  // Final file byte-identical to the uninterrupted sweep, results aligned.
+  EXPECT_EQ(read_lines(resume_path), full_lines);
+  ASSERT_EQ(resumed.size(), full.size());
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    EXPECT_EQ(resumed[i].spec.to_key(), full[i].spec.to_key()) << i;
+    EXPECT_EQ(resumed[i].result.table_cell(), full[i].result.table_cell()) << i;
+  }
+  // Resumed cells carry headline metrics but no trajectory.
+  EXPECT_TRUE(resumed[0].result.history.empty());
+  EXPECT_FALSE(resumed[2].result.history.empty());
+
+  std::remove(full_path.c_str());
+  std::remove(resume_path.c_str());
+}
+
+TEST(RunGrid, ResumeRequiresAJsonlOut) {
+  GridDriverOptions options;
+  options.resume = true;
+  EXPECT_THROW(run_grid({}, options), CheckError);
+  options.out = "results.csv";
+  EXPECT_THROW(run_grid({}, options), CheckError);
+}
+
+// ----------------------------------------------------------------- sinks --
+
+TEST(Sinks, WriteResultsIsAtomicAndLeavesNoTempFile) {
+  const std::string path = "dispatch_test_atomic.jsonl";
+  write_file(path, {"stale content that must fully disappear"});
+  CellResult cell;
+  cell.spec.build.dataset = "mnist";
+  write_results(path, {cell});
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], to_jsonl_line(cell));
+  EXPECT_NE(::access((path + ".tmp").c_str(), F_OK), 0) << "leftover tmp file";
+  std::remove(path.c_str());
+}
+
+TEST(Sinks, ScanResultsSkipsMalformedAndTruncatedLines) {
+  const std::string path = "dispatch_test_scan.jsonl";
+  CellResult cell;
+  cell.spec.build.dataset = "emnist";
+  cell.result.final_accuracy = 0.75f;
+  cell.result.comm_to_target = 12.5;
+  cell.result.rounds_to_target = 9;
+  write_file(path, {to_jsonl_line(cell), "", "{\"label\":\"trunc",
+                    "not json at all"});
+  const auto scanned = scan_results(path);
+  ASSERT_EQ(scanned.size(), 1u);
+  EXPECT_EQ(scanned[0].key, cell.spec.to_key());
+  EXPECT_EQ(scanned[0].line, to_jsonl_line(cell));
+  EXPECT_FLOAT_EQ(scanned[0].final_accuracy, 0.75f);
+  ASSERT_TRUE(scanned[0].comm_to_target.has_value());
+  EXPECT_DOUBLE_EQ(*scanned[0].comm_to_target, 12.5);
+  ASSERT_TRUE(scanned[0].rounds_to_target.has_value());
+  EXPECT_EQ(*scanned[0].rounds_to_target, 9);
+  EXPECT_TRUE(scan_results("no_such_file.jsonl").empty());
+  std::remove(path.c_str());
+}
+
+TEST(Sinks, TerminatePartialLineClosesAnInterruptedAppend) {
+  const std::string path = "dispatch_test_partial.jsonl";
+  write_file(path, {"{\"complete\":1}", "{\"trunc"}, /*trailing_newline=*/false);
+  terminate_partial_line(path);
+  // The partial line now ends in a newline: a fresh append cannot glue onto
+  // it and produce a second unparseable line.
+  append_result_line(path, "{\"fresh\":2}");
+  EXPECT_EQ(read_lines(path), (std::vector<std::string>{"{\"complete\":1}",
+                                                        "{\"trunc", "{\"fresh\":2}"}));
+  // Idempotent on a well-formed file, no-op on a missing one.
+  terminate_partial_line(path);
+  EXPECT_EQ(read_lines(path).size(), 3u);
+  terminate_partial_line("no_such_file.jsonl");
+  EXPECT_NE(::access("no_such_file.jsonl", F_OK), 0);
+  std::remove(path.c_str());
+}
+
+TEST(Sinks, AppendedLinesAccumulate) {
+  const std::string path = "dispatch_test_append.jsonl";
+  std::remove(path.c_str());
+  append_result_line(path, "{\"a\":1}");
+  append_result_line(path, "{\"b\":2}");
+  EXPECT_EQ(read_lines(path), (std::vector<std::string>{"{\"a\":1}", "{\"b\":2}"}));
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------ subprocess --
+
+TEST(Subprocess, RunsEchoLikeChildAndReportsExit) {
+  Subprocess cat({"/bin/cat"}, {});
+  ASSERT_TRUE(cat.write_stdin("hello\n"));
+  cat.close_stdin();
+  std::string out;
+  char buf[64];
+  ssize_t n;
+  while ((n = ::read(cat.stdout_fd(), buf, sizeof(buf))) > 0) out.append(buf, n);
+  EXPECT_EQ(out, "hello\n");
+  const ExitStatus status = cat.wait();
+  EXPECT_TRUE(status.clean());
+  EXPECT_EQ(describe(status), "exit code 0");
+}
+
+TEST(Subprocess, EnvOverridesReachTheChild) {
+  Subprocess child({"/bin/sh", "-c", "printf '%s' \"$FEDHISYN_DISPATCH_TEST\""},
+                   {"FEDHISYN_DISPATCH_TEST=42"});
+  child.close_stdin();
+  std::string out;
+  char buf[64];
+  ssize_t n;
+  while ((n = ::read(child.stdout_fd(), buf, sizeof(buf))) > 0) out.append(buf, n);
+  EXPECT_EQ(out, "42");
+  EXPECT_TRUE(child.wait().clean());
+}
+
+}  // namespace
+}  // namespace fedhisyn::exp
+
+int main(int argc, char** argv) {
+  // ProcessDispatcher self-execs this binary with --worker-cell: become a
+  // dispatch worker instead of running the suites.
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--worker-cell") {
+      return fedhisyn::exp::worker_cell_main();
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -10,7 +10,6 @@
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
-#include "core/factory.hpp"
 #include "core/registry.hpp"
 #include "exp/grid.hpp"
 #include "exp/scheduler.hpp"

@@ -9,7 +9,7 @@
 #include "common/flags.hpp"
 #include "common/rng.hpp"
 #include "core/fedasync.hpp"
-#include "core/factory.hpp"
+#include "core/registry.hpp"
 #include "core/trainer.hpp"
 #include "data/partition.hpp"
 #include "data/synthetic.hpp"

@@ -6,7 +6,7 @@
 
 #include "common/rng.hpp"
 #include "core/decentral.hpp"
-#include "core/factory.hpp"
+#include "core/registry.hpp"
 #include "core/fedhisyn_algo.hpp"
 #include "core/ring_engine.hpp"
 #include "core/runner.hpp"

@@ -10,7 +10,7 @@
 
 #include "common/parallel.hpp"
 #include "core/decentral.hpp"
-#include "core/factory.hpp"
+#include "core/registry.hpp"
 #include "core/fedhisyn_algo.hpp"
 #include "core/presets.hpp"
 #include "core/runner.hpp"
@@ -200,7 +200,7 @@ void expect_identical(const RunCapture& serial, const RunCapture& parallel,
 
 TEST(ParallelDeterminism, SerialAndFourThreadRunsAreBitIdentical) {
   const auto world = tiny_world();
-  // The seven algorithm families of the paper's comparison, via the factory.
+  // The seven algorithm families of the paper's comparison, via the registry.
   const std::vector<std::string> methods = {"FedAvg",   "TFedAvg", "FedProx",
                                             "TAFedAvg", "FedAsync", "FedAT",
                                             "SCAFFOLD", "FedHiSyn"};

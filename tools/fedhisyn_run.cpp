@@ -32,6 +32,10 @@
 //   --out PATH            result as one JSONL line (or CSV with *.csv)
 //   --history-csv PATH    write the per-round history as CSV
 //   --save-model PATH     save the final global weights (.fhsw)
+//
+// Like every grid driver, the binary also understands the hidden
+// --worker-cell flag (become a process-dispatch worker; see
+// exp/dispatch.hpp) so it can serve cells for a --dispatch=process parent.
 #include <cstdio>
 #include <fstream>
 
