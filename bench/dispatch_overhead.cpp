@@ -1,9 +1,10 @@
-// Dispatch-overhead microbench: what does process-level grid dispatch cost
-// per cell, compared to the in-process thread backend?
+// Dispatch-overhead microbench: what does process-level (and socket-level)
+// grid dispatch cost per cell, compared to the in-process thread backend?
 //
 // Runs a sweep of deliberately tiny cells (so per-cell compute is small and
-// the dispatch machinery dominates) through GridScheduler twice — thread
-// backend and process backend — and reports wall time, cells/sec and the
+// the dispatch machinery dominates) through GridScheduler three times —
+// thread backend, process backend, and the tcp backend against two --serve
+// workers self-exec'd on loopback — and reports wall time, cells/sec and the
 // derived per-cell dispatch overhead.  Emits machine-readable
 // BENCH_dispatch.json; CI gates cells_per_sec against
 // bench/baselines/BENCH_dispatch.json via tools/bench_gate.py (the floors
@@ -15,12 +16,17 @@
 //                             [--jobs N] [--repeat N]
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/flags.hpp"
+#include "common/net.hpp"
+#include "common/subprocess.hpp"
 #include "exp/driver.hpp"
 #include "exp/grid.hpp"
 #include "exp/scheduler.hpp"
@@ -28,13 +34,10 @@
 namespace {
 
 double run_backend(const std::vector<fedhisyn::exp::ExperimentSpec>& specs,
-                   fedhisyn::exp::CellBackend backend, std::size_t jobs, int repeat) {
+                   fedhisyn::exp::GridScheduler::Options options, int repeat) {
   using namespace fedhisyn;
   double best = 1e300;
   for (int r = 0; r < repeat; ++r) {
-    exp::GridScheduler::Options options;
-    options.jobs = jobs;
-    options.backend = backend;
     const auto start = std::chrono::steady_clock::now();
     exp::GridScheduler(options).run(specs);
     const double wall =
@@ -44,6 +47,45 @@ double run_backend(const std::vector<fedhisyn::exp::ExperimentSpec>& specs,
   }
   return best;
 }
+
+double run_backend(const std::vector<fedhisyn::exp::ExperimentSpec>& specs,
+                   fedhisyn::exp::CellBackend backend, std::size_t jobs, int repeat) {
+  fedhisyn::exp::GridScheduler::Options options;
+  options.jobs = jobs;
+  options.backend = backend;
+  return run_backend(specs, std::move(options), repeat);
+}
+
+/// A --serve worker self-exec'd on an ephemeral loopback port; endpoint
+/// parsed from its announce line, killed on destruction.
+class ServeWorker {
+ public:
+  ServeWorker()
+      : proc_(std::vector<std::string>{fedhisyn::current_executable_path(),
+                                       "--serve", "127.0.0.1:0"},
+              {}) {
+    fedhisyn::net::LineReader announce(proc_.stdout_fd());
+    std::string line;
+    FEDHISYN_CHECK_MSG(
+        announce.read_line(&line, fedhisyn::net::Deadline::after(30.0)) ==
+            fedhisyn::net::LineReader::Status::kLine,
+        "--serve worker printed no announce line");
+    const std::string prefix = "fedhisyn-serve: listening on ";
+    FEDHISYN_CHECK_MSG(line.rfind(prefix, 0) == 0,
+                       "unexpected announce line: " << line);
+    endpoint_ = line.substr(prefix.size());
+  }
+  ~ServeWorker() {
+    proc_.kill(SIGKILL);
+    proc_.wait();
+  }
+
+  const std::string& endpoint() const { return endpoint_; }
+
+ private:
+  fedhisyn::Subprocess proc_;
+  std::string endpoint_;
+};
 
 }  // namespace
 
@@ -79,10 +121,26 @@ int main(int argc, char** argv) {
       run_backend(specs, exp::CellBackend::kThread, jobs, repeat);
   const double process_wall =
       run_backend(specs, exp::CellBackend::kProcess, jobs, repeat);
+
+  // Tcp backend: two resident --serve workers on loopback — the wire and
+  // framing costs of a real multi-host sweep without the network in between.
+  double tcp_wall;
+  {
+    ServeWorker worker_a;
+    ServeWorker worker_b;
+    exp::GridScheduler::Options options;
+    options.backend = exp::CellBackend::kTcp;
+    options.worker_hosts = {worker_a.endpoint(), worker_b.endpoint()};
+    tcp_wall = run_backend(specs, std::move(options), repeat);
+  }
+
   const double thread_cps = static_cast<double>(cells) / thread_wall;
   const double process_cps = static_cast<double>(cells) / process_wall;
+  const double tcp_cps = static_cast<double>(cells) / tcp_wall;
   const double overhead_ms =
       (process_wall - thread_wall) / static_cast<double>(cells) * 1000.0;
+  const double tcp_overhead_ms =
+      (tcp_wall - thread_wall) / static_cast<double>(cells) * 1000.0;
 
   std::printf("== dispatch overhead (%zu cells, %zu jobs, best of %d) ==\n", cells,
               jobs, repeat);
@@ -91,6 +149,9 @@ int main(int argc, char** argv) {
   std::printf("process backend: %7.3fs wall, %8.1f cells/sec, %+.2f ms/cell dispatch "
               "overhead\n",
               process_wall, process_cps, overhead_ms);
+  std::printf("tcp     backend: %7.3fs wall, %8.1f cells/sec, %+.2f ms/cell dispatch "
+              "overhead (2 loopback --serve workers)\n",
+              tcp_wall, tcp_cps, tcp_overhead_ms);
 
   char buf[256];
   std::string json = "{\n  \"schema\": \"fedhisyn-dispatch-overhead/1\",\n";
@@ -105,8 +166,14 @@ int main(int argc, char** argv) {
   std::snprintf(buf, sizeof(buf),
                 "    {\"name\": \"process/j%zu\", \"backend\": \"process\", "
                 "\"wall_s\": %.4f, \"cells_per_sec\": %.2f, "
-                "\"overhead_ms_per_cell\": %.3f}\n",
+                "\"overhead_ms_per_cell\": %.3f},\n",
                 jobs, process_wall, process_cps, overhead_ms);
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "    {\"name\": \"tcp/w2\", \"backend\": \"tcp\", "
+                "\"wall_s\": %.4f, \"cells_per_sec\": %.2f, "
+                "\"overhead_ms_per_cell\": %.3f}\n",
+                tcp_wall, tcp_cps, tcp_overhead_ms);
   json += buf;
   json += "  ]\n}\n";
 

@@ -19,6 +19,15 @@ long env_long(const std::string& name, long fallback) {
   return parsed;
 }
 
+double env_double(const std::string& name, double fallback) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value) return fallback;
+  return parsed;
+}
+
 bool speculate_from_env() {
   const char* value = std::getenv("FEDHISYN_SPECULATE");
   if (value == nullptr) return true;

@@ -9,14 +9,28 @@
 //                            byte-identical either way; see
 //                            core/round_graph.hpp).  Default: on.
 //   FEDHISYN_GRID_JOBS=N     concurrent grid cells (see exp/scheduler.hpp)
-//   FEDHISYN_DISPATCH=thread|process
+//   FEDHISYN_DISPATCH=thread|process|tcp
 //                            grid cell backend: in-process worker threads
-//                            (default) or a crash-isolated pool of worker
-//                            processes (exp/dispatch.hpp).  Output files are
-//                            byte-identical either way.
+//                            (default), a crash-isolated pool of worker
+//                            processes, or remote --serve workers over TCP
+//                            (exp/dispatch.hpp).  Output files are
+//                            byte-identical in all three modes.
+//   FEDHISYN_WORKERS=host:port,...
+//                            worker endpoints for the tcp backend (fallback
+//                            for --workers); each host runs this binary in
+//                            --serve mode.
 //   FEDHISYN_WORKER_RETRIES=N
 //                            extra attempts for a grid cell whose dispatch
-//                            worker crashed (default 2, i.e. 3 tries total).
+//                            worker crashed, hung past the cell timeout or
+//                            dropped its connection (default 2, i.e. 3 tries
+//                            total — the same numbers dispatch.hpp and the
+//                            README state).
+//   FEDHISYN_CELL_TIMEOUT_S=S
+//                            per-cell deadline for the process/tcp dispatch
+//                            backends (fractional seconds; default off): a
+//                            worker that exceeds it is killed (process) or
+//                            disconnected (tcp) and the cell retried under
+//                            the same accounting as a crash.
 //   FEDHISYN_GEMM_TUNE=NC[xROWS]
 //                            blocked-GEMM tile sizes (see tensor/gemm.cpp):
 //                            NC = column-panel width, ROWS = rows per parallel
@@ -35,6 +49,10 @@ bool full_scale_enabled();
 
 /// Integer env var with default (returns `fallback` when unset/invalid).
 long env_long(const std::string& name, long fallback);
+
+/// Floating-point env var with default (returns `fallback` when
+/// unset/invalid).
+double env_double(const std::string& name, double fallback);
 
 /// FEDHISYN_SPECULATE: false when set to "0", "off" or "false", true
 /// otherwise (including unset) — speculative round execution is the default.

@@ -1,0 +1,102 @@
+// Minimal TCP transport for the multi-host grid dispatch plane
+// (exp/dispatch.*): listen/connect helpers, a monotonic Deadline, and a
+// line-framed reader — everything the newline-delimited JSON worker protocol
+// needs and nothing more.
+//
+// Every blocking primitive here is EINTR-safe and deadline-aware: a read can
+// be bounded (the per-cell timeout that keeps one wedged worker from
+// stalling a whole sweep) or unbounded (a resident worker waiting for its
+// next request).  Errors on an established connection are deliberately
+// collapsed into "the peer is gone" (Status::kEof) — the dispatch layer
+// treats a reset, a half-close and a clean EOF identically: retry the cell
+// elsewhere.
+#pragma once
+
+#include <cstdint>
+#include <chrono>
+#include <string>
+#include <vector>
+
+namespace fedhisyn::net {
+
+struct HostPort {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// Parse "host:port" or bare "port" (host defaults to `default_host`).
+/// Port 0 is allowed (bind-side "pick an ephemeral port"); anything
+/// non-numeric or > 65535 check-fails.
+HostPort parse_host_port(const std::string& spec, const std::string& default_host);
+
+/// Parse a comma-separated "host:port,host:port,..." worker list.
+/// Check-fails on an empty list or a malformed entry.
+std::vector<HostPort> parse_host_list(const std::string& csv,
+                                      const std::string& default_host);
+
+/// A point on the monotonic clock that blocking calls must not outlive.
+/// Default-constructed deadlines never expire.
+class Deadline {
+ public:
+  Deadline() = default;
+  static Deadline never() { return Deadline(); }
+  static Deadline after(double seconds);
+
+  bool is_never() const { return !armed_; }
+  bool expired() const;
+  /// Remaining time as a poll(2) timeout: -1 for never, 0 when expired.
+  int poll_timeout_ms() const;
+
+ private:
+  bool armed_ = false;
+  std::chrono::steady_clock::time_point when_{};
+};
+
+/// Bind + listen on host:port (port 0 picks an ephemeral port — read it back
+/// with local_port).  Returns the listening fd; check-fails on any error.
+int tcp_listen(const std::string& host, std::uint16_t port, int backlog = 16);
+
+/// Port a bound socket actually listens on (resolves port-0 binds).
+std::uint16_t local_port(int fd);
+
+/// Accept one connection (EINTR retried, TCP_NODELAY set).  Returns -1 when
+/// the listening socket is gone (closed/shut down) — the server's exit path.
+int tcp_accept(int listen_fd);
+
+/// Connect to host:port, giving up at the deadline.  Host may be a name
+/// (resolved via getaddrinfo) or a literal address.  Returns the connected
+/// fd (blocking, TCP_NODELAY) or -1 on failure — callers decide whether a
+/// dead host is fatal.
+int tcp_connect(const std::string& host, std::uint16_t port,
+                const Deadline& deadline);
+
+/// Write all of `data` (EINTR retried).  Returns false on any error — with
+/// SIGPIPE ignored, a write to a vanished peer fails with EPIPE/ECONNRESET
+/// instead of killing the process.
+bool write_all(int fd, const std::string& data);
+
+/// Buffered newline-framed reads over any pollable fd (socket or pipe).
+/// One reader owns the framing for one fd; the fd's lifetime is the
+/// caller's.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  enum class Status { kLine, kEof, kTimeout };
+
+  /// Block (poll + read, EINTR retried) until a full line, EOF, or the
+  /// deadline.  kLine: `*line` holds the text without its newline.  kEof:
+  /// the peer is gone (clean close, reset — any read error); a final
+  /// partial line without a newline is discarded, matching the dispatch
+  /// protocol where a truncated response means "retry elsewhere".
+  Status read_line(std::string* line, const Deadline& deadline = Deadline::never());
+
+ private:
+  bool pop_line(std::string* line);
+
+  int fd_ = -1;
+  std::string buf_;
+  bool eof_ = false;
+};
+
+}  // namespace fedhisyn::net

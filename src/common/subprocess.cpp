@@ -172,6 +172,11 @@ std::string current_executable_path() {
   char buf[4096];
   const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
   FEDHISYN_CHECK_MSG(n > 0, "cannot resolve /proc/self/exe: " << std::strerror(errno));
+  // readlink fills the buffer and reports no error on overflow; a silently
+  // truncated path would self-exec the wrong binary (or nothing).
+  FEDHISYN_CHECK_MSG(n < static_cast<ssize_t>(sizeof(buf) - 1),
+                     "/proc/self/exe path is " << sizeof(buf) - 1
+                                               << "+ bytes — refusing truncated path");
   buf[n] = '\0';
   return buf;
 }

@@ -1,10 +1,12 @@
 #include "exp/dispatch.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <climits>
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <deque>
 #include <iostream>
 #include <memory>
@@ -12,18 +14,50 @@
 #include <sstream>
 
 #include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include "common/check.hpp"
 #include "common/env.hpp"
 #include "common/json.hpp"
+#include "common/net.hpp"
 #include "common/subprocess.hpp"
 
 namespace fedhisyn::exp {
 
 namespace {
 
+/// With no FEDHISYN_CELL_TIMEOUT_S, the hello line still gets a generous
+/// deadline: it is sent before any work, so a worker quiet this long is a
+/// wedged host or a binary that does not speak the protocol — without the
+/// bound, one such endpoint would stall the sweep forever.
+constexpr double kDefaultHelloGraceS = 60.0;
+
 // ----------------------------------------------------------- wire codec --
+
+std::string encode_hello() {
+  return "{\"hello\":\"fedhisyn-worker\",\"proto\":1}";
+}
+
+/// Check-fails unless `line` is this protocol's hello — the first line on a
+/// fresh link decides whether the endpoint is a worker at all.
+void validate_hello(const std::string& line, const std::string& who) {
+  std::string problem;
+  try {
+    const json::Value doc = json::parse(line);
+    const json::Value* hello = doc.find("hello");
+    const json::Value* proto = doc.find("proto");
+    if (hello == nullptr || hello->as_string() != "fedhisyn-worker") {
+      problem = "it did not identify as a fedhisyn dispatch worker";
+    } else if (proto == nullptr || proto->as_long() != 1) {
+      problem = "it speaks an unknown protocol revision";
+    }
+  } catch (const std::exception&) {
+    problem = "its greeting is not JSON";
+  }
+  FEDHISYN_CHECK_MSG(problem.empty(), "cannot dispatch to " << who << ": " << problem
+                                                            << " (got: " << line << ")");
+}
 
 std::string encode_request(const ExperimentSpec& spec, int attempt) {
   std::ostringstream out;
@@ -144,15 +178,39 @@ void maybe_inject_crash(const std::string& label, int attempt) {
   }
 }
 
-void write_all(int fd, const std::string& data) {
-  std::size_t written = 0;
-  while (written < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      std::_Exit(3);  // parent is gone; nothing sane left to do
+/// FEDHISYN_TEST_HANG="<label-substring>[:<attempt>[:<seconds>]]": sleep
+/// `seconds` (default 600) before running a matching cell while the
+/// request's attempt number is <= the bound — a wedged-but-alive worker for
+/// the per-cell timeout tests.  Inert unless the env var is set.
+void maybe_inject_hang(const std::string& label, int attempt) {
+  const char* value = std::getenv("FEDHISYN_TEST_HANG");
+  if (value == nullptr || value[0] == '\0') return;
+  std::vector<std::string> parts(1);
+  for (const char* c = value; *c != '\0'; ++c) {
+    if (*c == ':') {
+      parts.emplace_back();
+    } else {
+      parts.back().push_back(*c);
     }
-    written += static_cast<std::size_t>(n);
+  }
+  int below_attempt = INT_MAX;
+  double sleep_s = 600.0;
+  if (parts.size() >= 2) {
+    const long bound = std::strtol(parts[1].c_str(), nullptr, 10);
+    if (bound > 0) below_attempt = static_cast<int>(bound);
+  }
+  if (parts.size() >= 3) {
+    const double seconds = std::strtod(parts[2].c_str(), nullptr);
+    if (seconds > 0) sleep_s = seconds;
+  }
+  if (label.find(parts[0]) == std::string::npos || attempt > below_attempt) return;
+  std::fprintf(stderr,
+               "worker: FEDHISYN_TEST_HANG hit for '%s' (attempt %d): sleeping %gs\n",
+               label.c_str(), attempt, sleep_s);
+  timespec ts;
+  ts.tv_sec = static_cast<time_t>(sleep_s);
+  ts.tv_nsec = static_cast<long>((sleep_s - static_cast<double>(ts.tv_sec)) * 1e9);
+  while (::nanosleep(&ts, &ts) != 0 && errno == EINTR) {
   }
 }
 
@@ -171,6 +229,7 @@ std::string handle_request(const std::string& line,
     const ExperimentSpec spec = ExperimentSpec::from_json(*spec_value);
     const int attempt = static_cast<int>(attempt_value->as_long());
     maybe_inject_crash(spec.label(), attempt);
+    maybe_inject_hang(spec.label(), attempt);
 
     // Single-entry build cache: consecutive cells of one build (the common
     // spec-order assignment, e.g. Table 1's per-build method runs) reuse it;
@@ -191,7 +250,309 @@ void ignore_sigpipe() {
   std::call_once(once, [] { std::signal(SIGPIPE, SIG_IGN); });
 }
 
+/// The worker's single-entry build cache.  For --serve workers it outlives
+/// individual connections: a coordinator that reconnects (or the next sweep)
+/// hits warm builds.
+struct WorkerBuildCache {
+  std::string key;
+  std::shared_ptr<const core::BuiltExperiment> built;
+};
+
+/// The one request/response loop both worker modes share: greet, then answer
+/// one result line per request line until the peer goes away.  Returns 0 on
+/// clean EOF, 3 when the peer vanished mid-reply.
+int serve_stream(int in_fd, int out_fd, WorkerBuildCache* cache) {
+  if (!net::write_all(out_fd, encode_hello() + "\n")) return 3;
+  net::LineReader reader(in_fd);
+  std::string line;
+  for (;;) {
+    if (reader.read_line(&line) != net::LineReader::Status::kLine) return 0;
+    if (line.empty()) continue;
+    const std::string response = handle_request(line, &cache->key, &cache->built);
+    if (!net::write_all(out_fd, response + "\n")) return 3;
+  }
+}
+
+// ---------------------------------------------------------- parent side --
+
+/// One worker as the shared dispatch loop sees it: a pollable response fd
+/// plus the few operations whose implementation differs between a child
+/// process on a pipe and a remote worker on a socket.
+class WorkerLink {
+ public:
+  virtual ~WorkerLink() = default;
+  virtual int fd() const = 0;
+  /// False when the link is already dead — the EOF on fd() routes the cell
+  /// through the death path, so callers just move on.
+  virtual bool send(const std::string& line) = 0;
+  /// Deadline enforcement: make the worker's EOF arrive now.
+  virtual void hard_kill() = 0;
+  /// Clean shutdown once no more work will be sent.
+  virtual void shutdown_clean() = 0;
+  /// Post-mortem description after EOF, for retry diagnostics.
+  virtual std::string describe_exit() = 0;
+};
+
+class ProcessLink : public WorkerLink {
+ public:
+  ProcessLink(const std::string& binary, const std::vector<std::string>& env)
+      : proc_(std::vector<std::string>{binary, "--worker-cell"}, env) {}
+  int fd() const override { return proc_.stdout_fd(); }
+  bool send(const std::string& line) override { return proc_.write_stdin(line); }
+  void hard_kill() override { proc_.kill(SIGKILL); }
+  void shutdown_clean() override {
+    proc_.close_stdin();
+    proc_.wait();
+  }
+  std::string describe_exit() override { return describe(proc_.wait()); }
+
+ private:
+  Subprocess proc_;
+};
+
+class TcpLink : public WorkerLink {
+ public:
+  TcpLink(int fd, std::string endpoint) : fd_(fd), endpoint_(std::move(endpoint)) {}
+  ~TcpLink() override { shutdown_clean(); }
+  int fd() const override { return fd_; }
+  bool send(const std::string& line) override { return net::write_all(fd_, line); }
+  void hard_kill() override { ::shutdown(fd_, SHUT_RDWR); }
+  void shutdown_clean() override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  std::string describe_exit() override { return "connection lost to " + endpoint_; }
+
+ private:
+  int fd_;
+  std::string endpoint_;
+};
+
+/// Everything the shared loop needs from a backend.
+struct DispatchConfig {
+  std::size_t slots = 1;
+  int max_attempts = 3;
+  /// Per-cell deadline, resolved; 0 = none.
+  double cell_timeout_s = 0.0;
+  /// Deadline for the hello after a (re)connect.
+  double hello_grace_s = kDefaultHelloGraceS;
+  /// Open (or re-open) slot s.  nullptr = the slot is permanently dead
+  /// (unreachable host); its work is reassigned to the surviving slots.
+  std::function<std::unique_ptr<WorkerLink>(std::size_t)> connect;
+  std::function<void(std::size_t, std::size_t, const CellResult&)> on_cell;
+};
+
+/// The dispatch loop both backends run: feed idle ready workers in spec
+/// order, poll every live link, collect results by spec index, convert
+/// worker deaths and blown deadlines into bounded retries.  This is the one
+/// place deadline/retry semantics live, so the process and tcp paths can
+/// never drift apart.
+std::vector<CellResult> run_dispatch(const DispatchConfig& config,
+                                     const std::vector<ExperimentSpec>& specs) {
+  const std::size_t n = specs.size();
+  std::vector<CellResult> results(n);
+  if (n == 0) return results;
+
+  struct Slot {
+    std::unique_ptr<WorkerLink> link;
+    std::string buf;
+    long cell = -1;          // spec index in flight, -1 when idle
+    bool ready = false;      // hello received on this link
+    bool timed_out = false;  // hard-killed for exceeding a deadline
+    bool retired = false;    // no further (re)connects for this slot
+    net::Deadline deadline;  // bounds the hello, then each in-flight cell
+  };
+  std::vector<Slot> slots(config.slots);
+  std::deque<std::size_t> pending;
+  for (std::size_t i = 0; i < n; ++i) pending.push_back(i);
+  std::vector<int> attempts(n, 0);
+  std::size_t done = 0;
+
+  const auto open_slot = [&](std::size_t s) {
+    Slot& slot = slots[s];
+    slot.link = config.connect(s);
+    slot.buf.clear();
+    slot.cell = -1;
+    slot.ready = false;
+    slot.timed_out = false;
+    if (slot.link == nullptr) {
+      slot.retired = true;
+      slot.deadline = net::Deadline::never();
+      return;
+    }
+    slot.deadline = config.hello_grace_s > 0
+                        ? net::Deadline::after(config.hello_grace_s)
+                        : net::Deadline::never();
+  };
+
+  /// A link died (EOF on its fd).  With a cell in flight — crash, timeout or
+  /// dropped connection — the cell is retried elsewhere or the sweep fails;
+  /// a death before the hello retires the slot (broken binary, dead host).
+  const auto handle_death = [&](std::size_t s) {
+    Slot& slot = slots[s];
+    const bool was_ready = slot.ready;
+    std::ostringstream death;
+    if (slot.timed_out) {
+      death << "timed out after " << config.cell_timeout_s << "s";
+    } else {
+      death << slot.link->describe_exit();
+    }
+    const long cell = slot.cell;
+    slot.link.reset();
+    slot.buf.clear();
+    slot.cell = -1;
+    slot.deadline = net::Deadline::never();
+    if (cell >= 0) {
+      const std::size_t i = static_cast<std::size_t>(cell);
+      FEDHISYN_CHECK_MSG(
+          attempts[i] < config.max_attempts,
+          "grid cell '" << specs[i].label() << "' lost its worker ("
+                        << death.str() << ") on all " << config.max_attempts
+                        << " attempt(s) — giving up");
+      std::fprintf(stderr,
+                   "dispatch: worker died (%s) on cell '%s' (attempt %d/%d); retrying\n",
+                   death.str().c_str(), specs[i].label().c_str(), attempts[i],
+                   config.max_attempts);
+      pending.push_front(i);
+    } else if (!was_ready) {
+      // Never served anything: reconnecting would only repeat the failure.
+      std::fprintf(stderr, "dispatch: worker %zu is unusable (%s); retiring it\n", s,
+                   death.str().c_str());
+      slot.retired = true;
+      return;
+    }
+    if (cell >= 0 || !pending.empty()) open_slot(s);
+  };
+
+  const auto handle_line = [&](std::size_t s, const std::string& line) {
+    Slot& slot = slots[s];
+    if (!slot.ready) {
+      validate_hello(line, "worker " + std::to_string(s));
+      slot.ready = true;
+      slot.deadline = net::Deadline::never();
+      return;
+    }
+    FEDHISYN_CHECK_MSG(slot.cell >= 0,
+                       "worker sent an unsolicited response: " << line);
+    const std::size_t i = static_cast<std::size_t>(slot.cell);
+    Response response = parse_response(line);
+    FEDHISYN_CHECK_MSG(response.error.empty(), "grid cell '" << specs[i].label()
+                                                             << "' failed in worker: "
+                                                             << response.error);
+    response.cell.spec = specs[i];
+    results[i] = std::move(response.cell);
+    slot.cell = -1;
+    slot.deadline = net::Deadline::never();
+    ++done;
+    if (config.on_cell) config.on_cell(done, n, results[i]);
+  };
+
+  for (std::size_t s = 0; s < slots.size(); ++s) open_slot(s);
+
+  while (done < n) {
+    // Feed idle ready workers in spec order (front of the queue first, so
+    // retries run before new work and build locality survives).
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      if (pending.empty()) break;
+      Slot& slot = slots[s];
+      if (slot.link == nullptr || !slot.ready || slot.cell >= 0) continue;
+      const std::size_t i = pending.front();
+      pending.pop_front();
+      ++attempts[i];
+      slot.cell = static_cast<long>(i);
+      slot.timed_out = false;
+      if (config.cell_timeout_s > 0) {
+        slot.deadline = net::Deadline::after(config.cell_timeout_s);
+      }
+      if (!slot.link->send(encode_request(specs[i], attempts[i]) + "\n")) {
+        // The worker died before taking the request; its EOF is (or will
+        // be) visible on fd() — the poll loop routes it to handle_death.
+        continue;
+      }
+    }
+
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> fd_slot;
+    int timeout_ms = -1;
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      if (slots[s].link == nullptr) continue;
+      fds.push_back({slots[s].link->fd(), POLLIN, 0});
+      fd_slot.push_back(s);
+      const int slot_ms = slots[s].deadline.poll_timeout_ms();
+      if (slot_ms >= 0 && (timeout_ms < 0 || slot_ms < timeout_ms)) {
+        timeout_ms = slot_ms;
+      }
+    }
+    FEDHISYN_CHECK_MSG(!fds.empty(), "dispatch stalled: every worker is dead or "
+                                     "unreachable with "
+                                         << n - done << " cell(s) outstanding");
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0) {
+      FEDHISYN_CHECK_MSG(errno == EINTR, "poll failed: " << std::strerror(errno));
+      continue;
+    }
+    for (std::size_t f = 0; f < fds.size(); ++f) {
+      if ((fds[f].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const std::size_t s = fd_slot[f];
+      Slot& slot = slots[s];
+      char buf[65536];
+      const ssize_t got = ::read(slot.link->fd(), buf, sizeof(buf));
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        handle_death(s);  // reset/refused read: same as EOF
+        continue;
+      }
+      if (got == 0) {
+        handle_death(s);
+        continue;
+      }
+      slot.buf.append(buf, static_cast<std::size_t>(got));
+      std::size_t newline;
+      while ((newline = slot.buf.find('\n')) != std::string::npos) {
+        const std::string line = slot.buf.substr(0, newline);
+        slot.buf.erase(0, newline + 1);
+        if (!line.empty()) handle_line(s, line);
+      }
+    }
+    // Deadlines: a worker past its hello/cell budget gets its EOF forced;
+    // the death path above turns that into a retry (or a retired slot).
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      Slot& slot = slots[s];
+      if (slot.link == nullptr || slot.timed_out || !slot.deadline.expired()) {
+        continue;
+      }
+      slot.timed_out = true;
+      slot.deadline = net::Deadline::never();
+      if (slot.cell >= 0) {
+        std::fprintf(stderr,
+                     "dispatch: cell '%s' exceeded the %gs deadline; killing its "
+                     "worker\n",
+                     specs[static_cast<std::size_t>(slot.cell)].label().c_str(),
+                     config.cell_timeout_s);
+      } else {
+        std::fprintf(stderr, "dispatch: worker %zu sent no hello in time; dropping it\n",
+                     s);
+      }
+      slot.link->hard_kill();
+    }
+  }
+
+  for (auto& slot : slots) {
+    if (slot.link == nullptr) continue;
+    slot.link->shutdown_clean();
+    slot.link.reset();
+  }
+  return results;
+}
+
 }  // namespace
+
+double cell_timeout_from_env() {
+  const double timeout = env_double("FEDHISYN_CELL_TIMEOUT_S", 0.0);
+  return timeout > 0.0 ? timeout : 0.0;
+}
 
 int worker_cell_main() {
   // The protocol owns the real stdout; stray library prints (progress dots,
@@ -200,20 +561,36 @@ int worker_cell_main() {
   FEDHISYN_CHECK_MSG(proto_fd >= 0, "worker cannot dup stdout");
   ::dup2(STDERR_FILENO, STDOUT_FILENO);
   ignore_sigpipe();
-
-  std::string cached_build_key;
-  std::shared_ptr<const core::BuiltExperiment> cached_build;
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    if (line.empty()) continue;
-    const std::string response =
-        handle_request(line, &cached_build_key, &cached_build);
-    write_all(proto_fd, response + "\n");
-  }
-  return 0;
+  WorkerBuildCache cache;
+  return serve_stream(STDIN_FILENO, proto_fd, &cache);
 }
 
-// ---------------------------------------------------------- parent side --
+int serve_main(const std::string& bind_spec) {
+  FEDHISYN_CHECK_MSG(!bind_spec.empty() && bind_spec != "true",
+                     "--serve needs [bind:]port (port 0 picks an ephemeral port)");
+  const net::HostPort bind = net::parse_host_port(bind_spec, "0.0.0.0");
+  const int listen_fd = net::tcp_listen(bind.host, bind.port);
+  // Announce the actual endpoint (resolves port 0) on the real stdout so
+  // scripts and benches can discover it, then re-route stdout to stderr —
+  // the protocol runs over the sockets, and nothing else should print where
+  // an announcement parser might read it.
+  std::printf("fedhisyn-serve: listening on %s:%u\n", bind.host.c_str(),
+              static_cast<unsigned>(net::local_port(listen_fd)));
+  std::fflush(stdout);
+  ::dup2(STDERR_FILENO, STDOUT_FILENO);
+  ignore_sigpipe();
+  // The cache outlives connections: the worker is resident, so back-to-back
+  // sweeps (or a coordinator reconnect) reuse warm builds.
+  WorkerBuildCache cache;
+  for (;;) {
+    const int conn = net::tcp_accept(listen_fd);
+    if (conn < 0) return 0;
+    std::fprintf(stderr, "fedhisyn-serve: coordinator connected\n");
+    serve_stream(conn, conn, &cache);
+    ::close(conn);
+    std::fprintf(stderr, "fedhisyn-serve: coordinator disconnected\n");
+  }
+}
 
 ProcessDispatcher::ProcessDispatcher(Options options) : options_(std::move(options)) {}
 
@@ -225,150 +602,93 @@ int ProcessDispatcher::max_attempts_from_env() {
 std::vector<CellResult> ProcessDispatcher::run(
     const std::vector<ExperimentSpec>& specs) const {
   const std::size_t n = specs.size();
-  std::vector<CellResult> results(n);
-  if (n == 0) return results;
+  if (n == 0) return {};
 
   const std::string binary =
       options_.worker_binary.empty() ? current_executable_path() : options_.worker_binary;
-  const int max_attempts =
-      options_.max_attempts > 0 ? options_.max_attempts : max_attempts_from_env();
-  const std::size_t workers = std::clamp<std::size_t>(options_.workers, 1, n);
-
   std::vector<std::string> env;
   if (options_.threads_per_worker > 0) {
     env.push_back("FEDHISYN_THREADS=" + std::to_string(options_.threads_per_worker));
   }
 
-  struct Slot {
-    std::unique_ptr<Subprocess> proc;
-    std::string buf;
-    long cell = -1;  // spec index in flight, -1 when idle
+  DispatchConfig config;
+  config.slots = std::clamp<std::size_t>(options_.workers, 1, n);
+  config.max_attempts =
+      options_.max_attempts > 0 ? options_.max_attempts : max_attempts_from_env();
+  config.cell_timeout_s =
+      options_.cell_timeout_s < 0 ? cell_timeout_from_env() : options_.cell_timeout_s;
+  if (config.cell_timeout_s > 0) config.hello_grace_s = config.cell_timeout_s;
+  config.connect = [&](std::size_t) -> std::unique_ptr<WorkerLink> {
+    return std::make_unique<ProcessLink>(binary, env);
   };
-  std::vector<Slot> slots(workers);
-  std::deque<std::size_t> pending;
-  for (std::size_t i = 0; i < n; ++i) pending.push_back(i);
-  std::vector<int> attempts(n, 0);
-  std::size_t done = 0;
+  config.on_cell = options_.on_cell;
+  return run_dispatch(config, specs);
+}
 
-  const auto spawn = [&](Slot& slot) {
-    slot.proc = std::make_unique<Subprocess>(
-        std::vector<std::string>{binary, "--worker-cell"}, env);
-    slot.buf.clear();
-    slot.cell = -1;
-  };
+TcpDispatcher::TcpDispatcher(Options options) : options_(std::move(options)) {}
 
-  /// A worker died (EOF on its stdout).  With a cell in flight this is a
-  /// crash: retry the cell on a fresh worker or give up; without one it is
-  /// the clean exit after stdin EOF.
-  const auto handle_death = [&](Slot& slot) {
-    const ExitStatus status = slot.proc->wait();
-    const long cell = slot.cell;
-    slot.proc.reset();
-    slot.buf.clear();
-    slot.cell = -1;
-    if (cell < 0) return;
-    const std::size_t i = static_cast<std::size_t>(cell);
-    FEDHISYN_CHECK_MSG(
-        attempts[i] < max_attempts,
-        "grid cell '" << specs[i].label() << "' crashed its worker ("
-                      << describe(status) << ") on all " << max_attempts
-                      << " attempt(s) — giving up");
-    std::fprintf(stderr,
-                 "dispatch: worker died (%s) on cell '%s' (attempt %d/%d); retrying\n",
-                 describe(status).c_str(), specs[i].label().c_str(), attempts[i],
-                 max_attempts);
-    pending.push_front(i);
-    spawn(slot);
-  };
-
-  const auto handle_line = [&](Slot& slot, const std::string& line) {
-    FEDHISYN_CHECK_MSG(slot.cell >= 0,
-                       "worker sent an unsolicited response: " << line);
-    const std::size_t i = static_cast<std::size_t>(slot.cell);
-    Response response = parse_response(line);
-    FEDHISYN_CHECK_MSG(response.error.empty(), "grid cell '" << specs[i].label()
-                                                             << "' failed in worker: "
-                                                             << response.error);
-    response.cell.spec = specs[i];
-    results[i] = std::move(response.cell);
-    slot.cell = -1;
-    ++done;
-    if (options_.on_cell) options_.on_cell(done, n, results[i]);
-  };
-
-  for (auto& slot : slots) spawn(slot);
-
-  while (done < n) {
-    // Feed idle workers in spec order (front of the queue first, so retries
-    // run before new work and build locality survives).
-    for (auto& slot : slots) {
-      if (pending.empty()) break;
-      if (slot.proc == nullptr || slot.cell >= 0) continue;
-      const std::size_t i = pending.front();
-      pending.pop_front();
-      ++attempts[i];
-      slot.cell = static_cast<long>(i);
-      if (!slot.proc->write_stdin(encode_request(specs[i], attempts[i]) + "\n")) {
-        // The worker died before taking the request; its EOF is (or will be)
-        // visible on stdout — the poll loop below routes it to handle_death.
-        continue;
-      }
-    }
-    // Once the queue is drained, idle workers get EOF and exit.
-    if (pending.empty()) {
-      for (auto& slot : slots) {
-        if (slot.proc != nullptr && slot.cell < 0) {
-          slot.proc->close_stdin();
-          slot.proc->wait();
-          slot.proc.reset();
-        }
-      }
-    }
-
-    std::vector<pollfd> fds;
-    std::vector<std::size_t> fd_slot;
-    for (std::size_t s = 0; s < slots.size(); ++s) {
-      if (slots[s].proc == nullptr) continue;
-      fds.push_back({slots[s].proc->stdout_fd(), POLLIN, 0});
-      fd_slot.push_back(s);
-    }
-    FEDHISYN_CHECK_MSG(!fds.empty(), "dispatch stalled with cells outstanding");
-    const int ready = ::poll(fds.data(), fds.size(), -1);
-    if (ready < 0) {
-      FEDHISYN_CHECK_MSG(errno == EINTR, "poll failed: " << std::strerror(errno));
-      continue;
-    }
-    for (std::size_t f = 0; f < fds.size(); ++f) {
-      if ((fds[f].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
-      Slot& slot = slots[fd_slot[f]];
-      char buf[65536];
-      const ssize_t got = ::read(slot.proc->stdout_fd(), buf, sizeof(buf));
-      if (got < 0) {
-        FEDHISYN_CHECK_MSG(errno == EINTR, "read from worker failed: "
-                                               << std::strerror(errno));
-        continue;
-      }
-      if (got == 0) {
-        handle_death(slot);
-        continue;
-      }
-      slot.buf.append(buf, static_cast<std::size_t>(got));
-      std::size_t newline;
-      while ((newline = slot.buf.find('\n')) != std::string::npos) {
-        const std::string line = slot.buf.substr(0, newline);
-        slot.buf.erase(0, newline + 1);
-        if (!line.empty()) handle_line(slot, line);
-      }
+std::vector<std::string> TcpDispatcher::hosts_from_env() {
+  const char* value = std::getenv("FEDHISYN_WORKERS");
+  if (value == nullptr || value[0] == '\0') return {};
+  std::vector<std::string> hosts;
+  std::string item;
+  for (const char* c = value; *c != '\0'; ++c) {
+    if (*c == ',') {
+      if (!item.empty()) hosts.push_back(item);
+      item.clear();
+    } else {
+      item.push_back(*c);
     }
   }
+  if (!item.empty()) hosts.push_back(item);
+  return hosts;
+}
 
-  for (auto& slot : slots) {
-    if (slot.proc == nullptr) continue;
-    slot.proc->close_stdin();
-    slot.proc->wait();
-    slot.proc.reset();
-  }
-  return results;
+std::vector<CellResult> TcpDispatcher::run(
+    const std::vector<ExperimentSpec>& specs) const {
+  const std::size_t n = specs.size();
+  if (n == 0) return {};
+
+  const std::vector<std::string> raw =
+      options_.hosts.empty() ? hosts_from_env() : options_.hosts;
+  FEDHISYN_CHECK_MSG(!raw.empty(),
+                     "--dispatch tcp needs worker endpoints: pass --workers "
+                     "host:port,... or set FEDHISYN_WORKERS");
+  std::vector<net::HostPort> hosts;
+  hosts.reserve(raw.size());
+  for (const auto& spec : raw) hosts.push_back(net::parse_host_port(spec, "127.0.0.1"));
+
+  // First connect per host retries until the budget elapses (the worker may
+  // still be starting); a reconnect after a death gets a single try — a
+  // host that died mid-sweep is retired and its cells reassigned.
+  std::vector<char> first_connect(hosts.size(), 1);
+  DispatchConfig config;
+  config.slots = std::min(hosts.size(), n);
+  config.max_attempts = options_.max_attempts > 0
+                            ? options_.max_attempts
+                            : ProcessDispatcher::max_attempts_from_env();
+  config.cell_timeout_s =
+      options_.cell_timeout_s < 0 ? cell_timeout_from_env() : options_.cell_timeout_s;
+  if (config.cell_timeout_s > 0) config.hello_grace_s = config.cell_timeout_s;
+  config.connect = [&](std::size_t s) -> std::unique_ptr<WorkerLink> {
+    const net::HostPort& host = hosts[s];
+    const std::string endpoint = host.host + ":" + std::to_string(host.port);
+    const bool keep_trying = first_connect[s] != 0;
+    first_connect[s] = 0;
+    const net::Deadline budget = net::Deadline::after(options_.connect_timeout_s);
+    for (;;) {
+      const int fd = net::tcp_connect(host.host, host.port, budget);
+      if (fd >= 0) return std::make_unique<TcpLink>(fd, endpoint);
+      if (!keep_trying || budget.expired()) {
+        std::fprintf(stderr, "dispatch: cannot connect to worker %s\n",
+                     endpoint.c_str());
+        return nullptr;
+      }
+      ::usleep(100 * 1000);  // the worker may still be binding its port
+    }
+  };
+  config.on_cell = options_.on_cell;
+  return run_dispatch(config, specs);
 }
 
 }  // namespace fedhisyn::exp

@@ -1,28 +1,46 @@
-// Process-level grid dispatch: a crash-isolated worker pool behind
-// GridScheduler's CellBackend seam (--dispatch=process / FEDHISYN_DISPATCH).
+// Process- and host-level grid dispatch: crash-isolated worker pools behind
+// GridScheduler's CellBackend seam (--dispatch=process|tcp /
+// FEDHISYN_DISPATCH).
 //
-// The parent self-execs the current binary in a hidden `--worker-cell` mode
-// (every grid driver reaches it through exp::handle_grid_flags) and keeps a
-// pool of persistent workers.  Each cell travels as one line of JSON over
-// the worker's stdin (ExperimentSpec::to_json) and comes back as one line of
-// JSON over its stdout; the parent collects results in spec order, so output
-// files stay byte-identical to a serial or thread-parallel sweep.
+// Process backend: the parent self-execs the current binary in a hidden
+// `--worker-cell` mode (every grid driver reaches it through
+// exp::handle_grid_flags) and keeps a pool of persistent workers fed over
+// stdin/stdout pipes.  TCP backend: the coordinator connects to remote
+// workers started with `--serve [bind:]port` on other machines and speaks
+// the *identical* protocol over the sockets — the wire codec never assumed
+// shared memory, a filesystem or a machine, so going multi-host only swaps
+// the byte channel.
 //
-// Crash isolation: a worker that segfaults, OOMs or otherwise dies mid-cell
-// is reaped, the cell is retried on a fresh worker up to `max_attempts`
-// times, and the sweep keeps moving.  A *deterministic* cell failure (the
-// worker replies ok:false, e.g. an unknown method) is not retried — it is
-// rethrown in the parent exactly like the thread backend rethrows a cell
-// exception.
+// Both backends share one dispatch loop: cells travel as one line of JSON
+// (ExperimentSpec::to_json), results come back as one line of JSON, the
+// parent collects in spec order — so serial, --grid-jobs N, --dispatch
+// process and --dispatch tcp output files are byte-identical.
+//
+// Failure handling (same accounting in both backends):
+//   * crash — a worker that segfaults/OOMs (process) or drops its
+//     connection (tcp) mid-cell: the cell is retried on a fresh worker, up
+//     to `max_attempts` total tries (1 + FEDHISYN_WORKER_RETRIES; retries
+//     default 2, so 3 tries).
+//   * hang — with FEDHISYN_CELL_TIMEOUT_S set, a worker that exceeds the
+//     per-cell deadline is SIGKILLed (process) or disconnected (tcp) and
+//     the cell retried exactly like a crash.  Default: no deadline.
+//   * dead host — a tcp worker whose connection cannot be re-established is
+//     retired; its cell is reassigned to the remaining workers.
+//   * deterministic failure — the worker replies ok:false (e.g. an unknown
+//     method): rethrown in the parent without retry, like the thread
+//     backend.
 //
 // Wire protocol (one JSON object per line, floats exact via %.9g/%.17g):
+//   worker -> parent  {"hello":"fedhisyn-worker","proto":1}   (on connect)
 //   parent -> worker  {"attempt":A,"spec":{...}}
 //   worker -> parent  {"ok":true,"seconds":S,"algorithm":"...","final":F,
 //                      "best":B,"comm":C|null,"rounds_to_target":R|null,
 //                      "history":[[round,acc,comm,d2d],...]}
 //   worker -> parent  {"ok":false,"error":"..."}
-// The codec is deliberately host-agnostic: nothing in it assumes the worker
-// shares memory, a filesystem or even a machine with the parent.
+// The hello line lets the coordinator reject a non-worker endpoint instead
+// of feeding specs into the void, and delays dispatch to a freshly
+// (re)connected worker until it is actually serving — a reconnect to a
+// wedged host parks until the host recovers instead of eating retries.
 #pragma once
 
 #include <cstddef>
@@ -34,6 +52,10 @@
 
 namespace fedhisyn::exp {
 
+/// FEDHISYN_CELL_TIMEOUT_S when set to a positive number of (possibly
+/// fractional) seconds, else 0 — meaning "no per-cell deadline".
+double cell_timeout_from_env();
+
 class ProcessDispatcher {
  public:
   struct Options {
@@ -42,8 +64,12 @@ class ProcessDispatcher {
     /// FEDHISYN_THREADS handed to each worker; 0 = inherit the parent's env.
     std::size_t threads_per_worker = 0;
     /// Total tries per cell before the sweep fails; 0 resolves
-    /// 1 + FEDHISYN_WORKER_RETRIES (default 3).
+    /// 1 + FEDHISYN_WORKER_RETRIES (retries default 2, i.e. 3 tries).
     int max_attempts = 0;
+    /// Per-cell deadline in seconds; < 0 resolves FEDHISYN_CELL_TIMEOUT_S,
+    /// 0 disables.  A worker past the deadline is SIGKILLed and the cell
+    /// retried under the same accounting as a crash.
+    double cell_timeout_s = -1.0;
     /// Binary to self-exec; empty = current_executable_path().
     std::string worker_binary;
     /// Per-finished-cell callback, (done, total, cell), completion order.
@@ -55,18 +81,63 @@ class ProcessDispatcher {
   /// Run every spec on the worker pool; results[i] corresponds to specs[i].
   std::vector<CellResult> run(const std::vector<ExperimentSpec>& specs) const;
 
-  /// 1 + FEDHISYN_WORKER_RETRIES when positive, else 3.
+  /// 1 + FEDHISYN_WORKER_RETRIES (retries default 2, so 3 total tries); a
+  /// negative env value falls back to the default.
   static int max_attempts_from_env();
 
  private:
   Options options_;
 };
 
-/// Entry point of the hidden --worker-cell mode: read spec lines from stdin,
-/// run each cell, answer with one result line per cell on the real stdout
-/// (stray library prints are re-routed to stderr), until EOF.  Returns the
-/// process exit code.  Reached via exp::handle_grid_flags in every grid
-/// driver, or directly from a custom main (see tests/dispatch_test.cpp).
+/// Multi-host twin of ProcessDispatcher: one slot per remote `--serve`
+/// worker, same protocol, same retry/timeout/ordering semantics.  Workers
+/// run wherever — the walkthrough in README "Multi-host grids" starts two on
+/// localhost.
+class TcpDispatcher {
+ public:
+  struct Options {
+    /// Worker endpoints ("host:port"); empty resolves FEDHISYN_WORKERS.
+    std::vector<std::string> hosts;
+    /// Total tries per cell; 0 resolves 1 + FEDHISYN_WORKER_RETRIES.
+    int max_attempts = 0;
+    /// Per-cell deadline; < 0 resolves FEDHISYN_CELL_TIMEOUT_S, 0 disables.
+    double cell_timeout_s = -1.0;
+    /// Initial connects are retried until this budget elapses (workers may
+    /// still be starting); a *re*connect after a death gets one try — a host
+    /// that died mid-sweep is retired, its cells reassigned.
+    double connect_timeout_s = 10.0;
+    /// Per-finished-cell callback, (done, total, cell), completion order.
+    std::function<void(std::size_t, std::size_t, const CellResult&)> on_cell;
+  };
+
+  explicit TcpDispatcher(Options options);
+
+  /// Run every spec on the worker fleet; results[i] corresponds to specs[i].
+  /// Check-fails when no worker can be reached at all, or when every worker
+  /// dies with cells still outstanding.
+  std::vector<CellResult> run(const std::vector<ExperimentSpec>& specs) const;
+
+  /// FEDHISYN_WORKERS split on commas; empty vector when unset.
+  static std::vector<std::string> hosts_from_env();
+
+ private:
+  Options options_;
+};
+
+/// Entry point of the hidden --worker-cell mode: send the hello line, then
+/// read spec lines from stdin, run each cell, answer with one result line
+/// per cell on the real stdout (stray library prints are re-routed to
+/// stderr), until EOF.  Returns the process exit code.  Reached via
+/// exp::handle_grid_flags in every grid driver, or directly from a custom
+/// main (see tests/dispatch_test.cpp).
 int worker_cell_main();
+
+/// Entry point of --serve [bind:]port: announce the bound endpoint on stdout
+/// as "fedhisyn-serve: listening on <host>:<port>", then accept coordinator
+/// connections one at a time, serving each with the same loop as
+/// --worker-cell until the peer disconnects.  The worker is resident: its
+/// single-entry build cache survives across connections, so consecutive
+/// sweeps against the same build skip the rebuild.  Runs until killed.
+int serve_main(const std::string& bind_spec);
 
 }  // namespace fedhisyn::exp

@@ -40,6 +40,11 @@ GridDriverOptions handle_grid_flags(const Flags& flags) {
     // protocol over stdin/stdout.  Never returns to the driver.
     std::exit(worker_cell_main());
   }
+  if (flags.has("serve")) {
+    // Remote dispatch-worker mode: serve the same worker protocol over TCP
+    // for a --dispatch tcp coordinator.  Never returns to the driver.
+    std::exit(serve_main(flags.get("serve", "")));
+  }
   if (flags.get_bool("list-methods")) {
     for (const auto& method : core::registered_methods()) {
       std::printf("%-10s %s\n", method.c_str(),
@@ -72,11 +77,19 @@ GridDriverOptions handle_grid_flags(const Flags& flags) {
   options.out = flags.get("out", "");
   if (flags.has("dispatch")) {
     const std::string mode = flags.get("dispatch", "thread");
-    FEDHISYN_CHECK_MSG(mode == "thread" || mode == "process",
-                       "--dispatch takes thread|process, got '" << mode << "'");
-    options.dispatch =
-        mode == "process" ? CellBackend::kProcess : CellBackend::kThread;
+    FEDHISYN_CHECK_MSG(mode == "thread" || mode == "process" || mode == "tcp",
+                       "--dispatch takes thread|process|tcp, got '" << mode << "'");
+    options.dispatch = mode == "process" ? CellBackend::kProcess
+                       : mode == "tcp"   ? CellBackend::kTcp
+                                         : CellBackend::kThread;
   }
+  options.workers = flags.get("workers", "");
+  // kAuto is fine too: FEDHISYN_DISPATCH=tcp with --workers on the command
+  // line is a legitimate combination.
+  FEDHISYN_CHECK_MSG(options.workers.empty() ||
+                         options.dispatch == CellBackend::kTcp ||
+                         options.dispatch == CellBackend::kAuto,
+                     "--workers only makes sense with --dispatch tcp");
   options.resume = flags.get_bool("resume");
   options.quiet = flags.get_bool("quiet");
   return options;
@@ -141,6 +154,7 @@ std::vector<CellResult> run_grid(const std::vector<ExperimentSpec>& specs,
     GridScheduler::Options sched;
     sched.jobs = options.grid_jobs;
     sched.backend = options.dispatch;
+    sched.worker_hosts = split_list(options.workers);
     // Serialised by the scheduler (both backends), so the append-order in
     // the streaming sink is completion order; the final rewrite below
     // restores spec order.

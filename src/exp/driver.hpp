@@ -3,10 +3,13 @@
 //
 //   --threads N       worker-thread budget (FEDHISYN_THREADS env fallback)
 //   --grid-jobs N     concurrent grid cells (FEDHISYN_GRID_JOBS fallback; 1)
-//   --dispatch MODE   thread | process: run cells on in-process worker
-//                     threads (default) or on a crash-isolated pool of
-//                     worker processes (FEDHISYN_DISPATCH fallback); output
-//                     is byte-identical either way
+//   --dispatch MODE   thread | process | tcp: run cells on in-process worker
+//                     threads (default), on a crash-isolated pool of worker
+//                     processes, or on remote --serve workers over TCP
+//                     (FEDHISYN_DISPATCH fallback); output is byte-identical
+//                     in all three modes
+//   --workers H:P,... remote worker endpoints for --dispatch tcp
+//                     (FEDHISYN_WORKERS fallback)
 //   --out PATH        per-cell results, JSONL by default, CSV if *.csv
 //   --resume          scan an existing --out JSONL for finished cells (by
 //                     spec key) and run only the rest; resumed lines are
@@ -22,6 +25,11 @@
 //   --worker-cell     hidden: become a dispatch worker (stdin/stdout
 //                     protocol, see exp/dispatch.hpp); used by
 //                     --dispatch=process to self-exec this binary
+//   --serve [BIND:]PORT
+//                     become a resident remote dispatch worker: listen on
+//                     PORT (default bind 0.0.0.0; port 0 = ephemeral,
+//                     announced on stdout) and serve --dispatch tcp
+//                     coordinators until killed
 //
 // Grid-restriction flags replace the old FEDHISYN_TABLE1_* getenv knobs;
 // the env vars remain as fallbacks for CI compatibility:
@@ -47,6 +55,9 @@ struct GridDriverOptions {
   std::string out;
   /// Cell execution backend (--dispatch; kAuto resolves FEDHISYN_DISPATCH).
   CellBackend dispatch = CellBackend::kAuto;
+  /// Comma-separated remote worker endpoints for the tcp backend
+  /// (--workers; empty lets the dispatcher resolve FEDHISYN_WORKERS).
+  std::string workers;
   /// Skip cells whose spec key already sits in the --out JSONL.
   bool resume = false;
   /// Suppress the per-cell progress lines on stderr.
@@ -64,8 +75,8 @@ GridDriverOptions handle_grid_flags(const Flags& flags);
 /// line to `options.out` as it completes (append-safe, so an interrupted
 /// sweep is resumable), print per-cell progress with an ETA to stderr
 /// (unless --quiet), and finally rewrite `options.out` atomically in spec
-/// order — byte-identical across serial, --grid-jobs N and
-/// --dispatch=process runs, interrupted or not.
+/// order — byte-identical across serial, --grid-jobs N, --dispatch=process
+/// and --dispatch=tcp runs, interrupted or not.
 ///
 /// Returns one CellResult per spec, in spec order.  Resumed cells carry the
 /// headline metrics parsed back from the file but an empty per-round

@@ -92,8 +92,10 @@ CellBackend GridScheduler::backend_from_env() {
   if (value == nullptr || value[0] == '\0' || std::strcmp(value, "thread") == 0) {
     return CellBackend::kThread;
   }
+  if (std::strcmp(value, "tcp") == 0) return CellBackend::kTcp;
   FEDHISYN_CHECK_MSG(std::strcmp(value, "process") == 0,
-                     "FEDHISYN_DISPATCH takes thread|process, got '" << value << "'");
+                     "FEDHISYN_DISPATCH takes thread|process|tcp, got '" << value
+                                                                         << "'");
   return CellBackend::kProcess;
 }
 
@@ -127,9 +129,21 @@ std::vector<CellResult> GridScheduler::run(
     dispatch.workers = jobs;
     dispatch.threads_per_worker = inner_threads(jobs);
     dispatch.max_attempts = options_.max_attempts;
+    dispatch.cell_timeout_s = options_.cell_timeout_s;
     dispatch.worker_binary = options_.worker_binary;
     dispatch.on_cell = options_.on_cell;
     return ProcessDispatcher(std::move(dispatch)).run(specs);
+  }
+  if (backend == CellBackend::kTcp) {
+    // One slot per remote --serve worker; the thread budget is whatever each
+    // worker's own FEDHISYN_THREADS says.  Collection stays in spec order,
+    // so tcp output is byte-identical to every other backend.
+    TcpDispatcher::Options dispatch;
+    dispatch.hosts = options_.worker_hosts;
+    dispatch.max_attempts = options_.max_attempts;
+    dispatch.cell_timeout_s = options_.cell_timeout_s;
+    dispatch.on_cell = options_.on_cell;
+    return TcpDispatcher(std::move(dispatch)).run(specs);
   }
 
   BuildCache cache;

@@ -61,11 +61,15 @@ CellResult run_cell(const ExperimentSpec& spec, const CellHooks& hooks = {});
 ///   kThread   worker threads in this process (the default);
 ///   kProcess  a crash-isolated pool of self-exec'd worker processes
 ///             (exp/dispatch.hpp) — a crashing worker (segfault, OOM kill)
-///             cannot take the sweep down, and results stay byte-identical
-///             (a worker that *hangs* without dying still blocks the
-///             sweep: there is no per-cell deadline);
-///   kAuto     resolve FEDHISYN_DISPATCH ("process"/"thread"; default thread).
-enum class CellBackend { kAuto, kThread, kProcess };
+///             cannot take the sweep down, and results stay byte-identical;
+///             a worker that *hangs* is killed and retried too once
+///             FEDHISYN_CELL_TIMEOUT_S arms the per-cell deadline;
+///   kTcp      remote workers started with `--serve [bind:]port` on other
+///             machines (--workers host:port,... / FEDHISYN_WORKERS), same
+///             protocol and retry/timeout semantics as kProcess;
+///   kAuto     resolve FEDHISYN_DISPATCH ("thread"/"process"/"tcp"; default
+///             thread).
+enum class CellBackend { kAuto, kThread, kProcess, kTcp };
 
 class GridScheduler {
  public:
@@ -85,6 +89,12 @@ class GridScheduler {
     /// the running binary; tests point it at themselves explicitly).
     int max_attempts = 0;
     std::string worker_binary;
+    /// Tcp backend: remote worker endpoints ("host:port"); empty resolves
+    /// FEDHISYN_WORKERS.
+    std::vector<std::string> worker_hosts;
+    /// Process/tcp backends: per-cell deadline in seconds; < 0 resolves
+    /// FEDHISYN_CELL_TIMEOUT_S, 0 disables.
+    double cell_timeout_s = -1.0;
     /// Progress callback, invoked once per finished cell (serialised, in
     /// completion order): (cells done, cells total, the cell).
     std::function<void(std::size_t, std::size_t, const CellResult&)> on_cell;
@@ -106,8 +116,8 @@ class GridScheduler {
   /// FEDHISYN_GRID_JOBS when set to a positive integer, else 1.
   static std::size_t jobs_from_env();
 
-  /// FEDHISYN_DISPATCH: kProcess for "process", kThread otherwise
-  /// (including unset); check-fails on an unrecognised value.
+  /// FEDHISYN_DISPATCH: kProcess for "process", kTcp for "tcp", kThread
+  /// otherwise (including unset); check-fails on an unrecognised value.
   static CellBackend backend_from_env();
 
  private:

@@ -91,17 +91,53 @@ std::string to_csv_row(const CellResult& cell) {
 }
 
 void write_lines_atomic(const std::string& path, const std::vector<std::string>& lines) {
+  // tmp + fsync + rename + fsync(dir): rename alone makes the replacement
+  // atomic against concurrent readers, but not against a host crash — an
+  // unsynced tmp can be renamed over good data and then land empty/truncated
+  // after the crash, silently poisoning a later --resume.  The fsync before
+  // the rename pins the bytes; the directory fsync after pins the rename.
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    FEDHISYN_CHECK_MSG(out.good(), "cannot open '" << tmp << "' for writing");
-    for (const auto& line : lines) out << line << "\n";
-    out.flush();
-    FEDHISYN_CHECK_MSG(out.good(), "short write to '" << tmp << "'");
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  FEDHISYN_CHECK_MSG(fd >= 0, "cannot open '" << tmp << "' for writing: "
+                                              << std::strerror(errno));
+  std::string data;
+  for (const auto& line : lines) {
+    data += line;
+    data += '\n';
   }
-  FEDHISYN_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
-                     "cannot rename '" << tmp << "' over '" << path
-                                       << "': " << std::strerror(errno));
+  const auto fail = [&](const char* what) {
+    const int saved_errno = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());  // never leave a half-written tmp behind
+    FEDHISYN_CHECK_MSG(false, what << " '" << tmp
+                                   << "': " << std::strerror(saved_errno));
+  };
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) fail("short write to");
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) fail("cannot fsync");
+  ::close(fd);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int saved_errno = errno;
+    ::unlink(tmp.c_str());
+    FEDHISYN_CHECK_MSG(false, "cannot rename '" << tmp << "' over '" << path
+                                                << "': "
+                                                << std::strerror(saved_errno));
+  }
+  const std::size_t slash = path.rfind('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  FEDHISYN_CHECK_MSG(dir_fd >= 0, "cannot open directory '" << dir
+                                                            << "' to fsync the rename: "
+                                                            << std::strerror(errno));
+  const int rc = ::fsync(dir_fd);
+  ::close(dir_fd);
+  FEDHISYN_CHECK_MSG(rc == 0, "cannot fsync directory '" << dir
+                                                         << "': " << std::strerror(errno));
 }
 
 bool is_csv_path(const std::string& path) {
@@ -155,10 +191,24 @@ std::vector<ScannedResult> scan_results(const std::string& path) {
   std::ifstream in(path);
   if (!in.good()) return scanned;
   std::string line;
+  std::size_t line_number = 0;
+  // A truncated *trailing* line is the expected debris of an interrupted
+  // append and is skipped silently; a bad line *followed by well-formed
+  // lines* means the middle of the file was corrupted (torn rewrite, disk
+  // fault) and deserves a loud warning — those cells silently rerun.
+  std::size_t first_bad_line = 0;  // 1-based; 0 = none seen yet
+  bool warned_mid_file = false;
+  const auto note_bad = [&] {
+    if (first_bad_line == 0) first_bad_line = line_number;
+  };
   while (std::getline(in, line)) {
+    ++line_number;
     if (line.empty()) continue;
     const auto doc = json::try_parse(line);
-    if (!doc.has_value() || doc->kind != json::Value::Kind::kObject) continue;
+    if (!doc.has_value() || doc->kind != json::Value::Kind::kObject) {
+      note_bad();
+      continue;
+    }
     const json::Value* key = doc->find("key");
     const json::Value* final_acc = doc->find("final_accuracy");
     const json::Value* best_acc = doc->find("best_accuracy");
@@ -166,7 +216,16 @@ std::vector<ScannedResult> scan_results(const std::string& path) {
     const json::Value* rounds = doc->find("rounds_to_target");
     if (key == nullptr || final_acc == nullptr || best_acc == nullptr ||
         comm == nullptr || rounds == nullptr) {
+      note_bad();
       continue;
+    }
+    if (first_bad_line != 0 && !warned_mid_file) {
+      warned_mid_file = true;
+      std::fprintf(stderr,
+                   "warning: '%s' line %zu is malformed but later lines parse — "
+                   "mid-file corruption, not an interrupted tail; the affected "
+                   "cell(s) will rerun\n",
+                   path.c_str(), first_bad_line);
     }
     ScannedResult result;
     result.key = key->as_string();

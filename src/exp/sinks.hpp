@@ -36,8 +36,12 @@ bool is_csv_path(const std::string& path);
 /// --resume would mis-read.  Check-fails if the file cannot be written.
 void write_results(const std::string& path, const std::vector<CellResult>& cells);
 
-/// Atomically replace `path` with `lines` (one per line, tmp + rename).
-/// The verbatim-line primitive under write_results and the --resume rewrite.
+/// Atomically AND durably replace `path` with `lines` (one per line): write
+/// "<path>.tmp", fsync it, rename over `path`, fsync the directory — so the
+/// replacement survives both a concurrent reader and a host crash (an
+/// unsynced rename can land as an empty file after power loss and silently
+/// poison --resume).  The tmp file is unlinked on every failure path.  The
+/// verbatim-line primitive under write_results and the --resume rewrite.
 void write_lines_atomic(const std::string& path, const std::vector<std::string>& lines);
 
 /// Append one line to a streaming JSONL sink as a single O_APPEND write: a
@@ -65,7 +69,9 @@ struct ScannedResult {
 };
 
 /// Scan an existing JSONL results file for finished cells.  Malformed or
-/// truncated lines (an interrupted append) are skipped, not fatal.  A
+/// truncated lines (an interrupted append) are skipped, not fatal.  A bad
+/// line *followed by* well-formed lines indicates mid-file corruption (not a
+/// cut tail) and is warned about on stderr instead of skipped silently.  A
 /// missing file yields an empty vector.
 std::vector<ScannedResult> scan_results(const std::string& path);
 

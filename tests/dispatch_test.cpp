@@ -1,17 +1,23 @@
-// Tests for the process-level grid dispatch subsystem: the ExperimentSpec
-// JSON wire codec (exact round-trip across every grid axis), thread- vs
-// process- vs serial-backend byte-identity, crash isolation (a worker killed
-// mid-cell is retried and the sweep survives), --resume semantics, and the
-// atomic / append-safe result sinks.
+// Tests for the process- and host-level grid dispatch subsystem: the
+// ExperimentSpec JSON wire codec (exact round-trip across every grid axis),
+// thread- vs process- vs tcp- vs serial-backend byte-identity, crash
+// isolation (a worker killed mid-cell — child process or remote connection —
+// is retried and the sweep survives), hung-worker deadlines
+// (FEDHISYN_CELL_TIMEOUT_S kills and retries under crash accounting),
+// --resume semantics, and the atomic / append-safe result sinks.
 //
 // This binary has a custom main: invoked with --worker-cell it becomes a
 // dispatch worker (the ProcessDispatcher self-execs the running binary, i.e.
-// this test), otherwise it runs the gtest suites.
+// this test), with --serve it becomes a resident TCP worker (the tcp tests
+// spawn two of themselves on ephemeral ports), otherwise it runs the gtest
+// suites.
 #include <gtest/gtest.h>
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -20,6 +26,7 @@
 
 #include "common/check.hpp"
 #include "common/json.hpp"
+#include "common/net.hpp"
 #include "common/subprocess.hpp"
 #include "exp/dispatch.hpp"
 #include "exp/driver.hpp"
@@ -69,6 +76,37 @@ class ScopedEnv {
   const char* name_;
   bool had_old_ = false;
   std::string old_;
+};
+
+/// A resident `--serve` worker: this test binary self-exec'd on an ephemeral
+/// loopback port, endpoint parsed back from its announce line.  Killed (and
+/// reaped) on destruction.
+class ServeWorker {
+ public:
+  explicit ServeWorker(std::vector<std::string> env = {})
+      : proc_(std::vector<std::string>{current_executable_path(), "--serve",
+                                       "127.0.0.1:0"},
+              std::move(env)) {
+    net::LineReader announce(proc_.stdout_fd());
+    std::string line;
+    FEDHISYN_CHECK_MSG(announce.read_line(&line, net::Deadline::after(30.0)) ==
+                           net::LineReader::Status::kLine,
+                       "--serve worker printed no announce line");
+    const std::string prefix = "fedhisyn-serve: listening on ";
+    FEDHISYN_CHECK_MSG(line.rfind(prefix, 0) == 0,
+                       "unexpected announce line: " << line);
+    endpoint_ = line.substr(prefix.size());
+  }
+  ~ServeWorker() {
+    proc_.kill(SIGKILL);
+    proc_.wait();
+  }
+
+  const std::string& endpoint() const { return endpoint_; }
+
+ private:
+  Subprocess proc_;
+  std::string endpoint_;
 };
 
 std::vector<std::string> read_lines(const std::string& path) {
@@ -265,6 +303,177 @@ TEST(Dispatch, MaxAttemptsResolvesFromEnv) {
   EXPECT_EQ(ProcessDispatcher::max_attempts_from_env(), 6);
 }
 
+TEST(Dispatch, CellTimeoutResolvesFromEnv) {
+  EXPECT_EQ(cell_timeout_from_env(), 0.0);  // default: no deadline
+  {
+    ScopedEnv timeout("FEDHISYN_CELL_TIMEOUT_S", "2.5");
+    EXPECT_EQ(cell_timeout_from_env(), 2.5);
+  }
+  ScopedEnv nonsense("FEDHISYN_CELL_TIMEOUT_S", "-3");
+  EXPECT_EQ(cell_timeout_from_env(), 0.0);  // non-positive = off
+}
+
+TEST(Dispatch, HungWorkerIsKilledAtTheDeadlineAndRetried) {
+  auto grid = tiny_grid();
+  grid.methods({"FedHiSyn", "FedAvg"});
+  const auto specs = grid.expand();
+
+  GridScheduler::Options clean_options;
+  clean_options.jobs = 1;
+  clean_options.backend = CellBackend::kThread;
+  const auto clean = GridScheduler(clean_options).run(specs);
+
+  // Workers wedge (sleep well past the deadline) on the FedAvg cell's first
+  // attempt; the dispatcher must SIGKILL at the deadline and heal on attempt
+  // 2 under the same accounting as a crash.
+  ScopedEnv hang("FEDHISYN_TEST_HANG", "FedAvg:1:600");
+  ProcessDispatcher::Options options;
+  options.workers = 2;
+  options.cell_timeout_s = 1.0;
+  const auto hung = ProcessDispatcher(options).run(specs);
+
+  ASSERT_EQ(clean.size(), hung.size());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    EXPECT_EQ(to_jsonl_line(clean[i]), to_jsonl_line(hung[i])) << i;
+  }
+}
+
+TEST(Dispatch, HungWorkerExhaustsAttemptsWhenItNeverHeals) {
+  auto grid = tiny_grid();
+  grid.methods({"FedAvg"});
+  ScopedEnv hang("FEDHISYN_TEST_HANG", "FedAvg:600:600");  // every attempt wedges
+  ProcessDispatcher::Options options;
+  options.workers = 1;
+  options.max_attempts = 2;
+  options.cell_timeout_s = 0.3;
+  try {
+    ProcessDispatcher(options).run(grid.expand());
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("giving up"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("timed out"), std::string::npos);
+  }
+}
+
+// --------------------------------------------------------------- tcp --
+
+TEST(TcpDispatch, MatchesSerialByteIdenticalAcrossTwoServeWorkers) {
+  auto grid = tiny_grid();
+  grid.methods({"FedHiSyn", "FedAvg", "SCAFFOLD", "FedAT"});
+  const auto specs = grid.expand();
+
+  GridScheduler::Options serial_options;
+  serial_options.jobs = 1;
+  serial_options.backend = CellBackend::kThread;
+  const auto serial = GridScheduler(serial_options).run(specs);
+
+  ServeWorker worker_a;
+  ServeWorker worker_b;
+  GridScheduler::Options tcp_options;
+  tcp_options.backend = CellBackend::kTcp;
+  tcp_options.worker_hosts = {worker_a.endpoint(), worker_b.endpoint()};
+  const auto tcp = GridScheduler(tcp_options).run(specs);
+
+  ASSERT_EQ(serial.size(), tcp.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(to_jsonl_line(serial[i]), to_jsonl_line(tcp[i])) << i;
+    EXPECT_EQ(to_csv_row(serial[i]), to_csv_row(tcp[i])) << i;
+  }
+}
+
+TEST(TcpDispatch, WorkerDroppingItsConnectionMidCellIsRetriedElsewhere) {
+  auto grid = tiny_grid();
+  grid.methods({"FedHiSyn", "FedAvg", "FedAT"});
+  const auto specs = grid.expand();
+
+  GridScheduler::Options clean_options;
+  clean_options.jobs = 1;
+  clean_options.backend = CellBackend::kThread;
+  const auto clean = GridScheduler(clean_options).run(specs);
+
+  // Both remote workers abort the FedAvg cell on attempt 1 — the coordinator
+  // sees the connection drop mid-cell, fails the reconnect (the process is
+  // gone), retires the slot and reassigns the cell to the survivor, whose
+  // attempt-2 request runs clean.
+  ServeWorker volatile_a({"FEDHISYN_TEST_CRASH=FedAvg:1"});
+  ServeWorker volatile_b({"FEDHISYN_TEST_CRASH=FedAvg:1"});
+  TcpDispatcher::Options options;
+  options.hosts = {volatile_a.endpoint(), volatile_b.endpoint()};
+  const auto tcp = TcpDispatcher(options).run(specs);
+
+  ASSERT_EQ(clean.size(), tcp.size());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    EXPECT_EQ(to_jsonl_line(clean[i]), to_jsonl_line(tcp[i])) << i;
+  }
+}
+
+TEST(TcpDispatch, HungRemoteWorkerIsDisconnectedAtTheDeadlineAndRetried) {
+  auto grid = tiny_grid();
+  grid.methods({"FedHiSyn", "FedAvg"});
+  const auto specs = grid.expand();
+
+  GridScheduler::Options clean_options;
+  clean_options.jobs = 1;
+  clean_options.backend = CellBackend::kThread;
+  const auto clean = GridScheduler(clean_options).run(specs);
+
+  // The finite 2s hang lets the wedged worker eventually wake, notice its
+  // dead connection and accept fresh work; the 0.5s deadline fires far
+  // earlier, so the cell reruns on the other worker first.
+  ServeWorker sleepy_a({"FEDHISYN_TEST_HANG=FedAvg:1:2"});
+  ServeWorker sleepy_b({"FEDHISYN_TEST_HANG=FedAvg:1:2"});
+  TcpDispatcher::Options options;
+  options.hosts = {sleepy_a.endpoint(), sleepy_b.endpoint()};
+  options.cell_timeout_s = 0.5;
+  const auto tcp = TcpDispatcher(options).run(specs);
+
+  ASSERT_EQ(clean.size(), tcp.size());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    EXPECT_EQ(to_jsonl_line(clean[i]), to_jsonl_line(tcp[i])) << i;
+  }
+}
+
+TEST(TcpDispatch, DeadHostAtStartupIsRetiredAndTheSweepCompletes) {
+  auto grid = tiny_grid();
+  grid.methods({"FedHiSyn", "FedAvg"});
+  const auto specs = grid.expand();
+
+  GridScheduler::Options clean_options;
+  clean_options.jobs = 1;
+  clean_options.backend = CellBackend::kThread;
+  const auto clean = GridScheduler(clean_options).run(specs);
+
+  ServeWorker alive;
+  TcpDispatcher::Options options;
+  // Port 1 on loopback refuses instantly; the good worker carries the sweep.
+  options.hosts = {alive.endpoint(), "127.0.0.1:1"};
+  options.connect_timeout_s = 0.3;
+  const auto tcp = TcpDispatcher(options).run(specs);
+
+  ASSERT_EQ(clean.size(), tcp.size());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    EXPECT_EQ(to_jsonl_line(clean[i]), to_jsonl_line(tcp[i])) << i;
+  }
+}
+
+TEST(TcpDispatch, NoWorkersConfiguredCheckFails) {
+  auto grid = tiny_grid();
+  grid.methods({"FedAvg"});
+  TcpDispatcher::Options options;  // no hosts, no FEDHISYN_WORKERS
+  EXPECT_THROW(TcpDispatcher(options).run(grid.expand()), CheckError);
+}
+
+TEST(TcpDispatch, HostsResolveFromEnvWhenOptionsAreEmpty) {
+  {
+    ScopedEnv workers("FEDHISYN_WORKERS", "hostA:7800,hostB:7801");
+    const auto hosts = TcpDispatcher::hosts_from_env();
+    ASSERT_EQ(hosts.size(), 2u);
+    EXPECT_EQ(hosts[0], "hostA:7800");
+    EXPECT_EQ(hosts[1], "hostB:7801");
+  }
+  EXPECT_TRUE(TcpDispatcher::hosts_from_env().empty());
+}
+
 // ---------------------------------------------------------------- resume --
 
 TEST(RunGrid, ResumeSkipsCompletedCellsAndReproducesTheFileByteExactly) {
@@ -359,6 +568,32 @@ TEST(Sinks, ScanResultsSkipsMalformedAndTruncatedLines) {
   std::remove(path.c_str());
 }
 
+TEST(Sinks, ScanResultsWarnsOnMidFileCorruptionButNotOnATruncatedTail) {
+  const std::string path = "dispatch_test_midfile.jsonl";
+  CellResult first;
+  first.spec.build.dataset = "mnist";
+  CellResult second;
+  second.spec.build.dataset = "emnist";
+
+  // Truncated *tail*: the normal debris of an interrupted append — silent.
+  write_file(path, {to_jsonl_line(first), "{\"label\":\"trunc"});
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(scan_results(path).size(), 1u);
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+
+  // Bad line *followed by* a well-formed one: mid-file corruption — loud.
+  write_file(path, {to_jsonl_line(first), "{\"label\":\"trunc",
+                    to_jsonl_line(second)});
+  testing::internal::CaptureStderr();
+  const auto scanned = scan_results(path);
+  const std::string warning = testing::internal::GetCapturedStderr();
+  ASSERT_EQ(scanned.size(), 2u);  // the good lines still parse
+  EXPECT_EQ(scanned[1].key, second.spec.to_key());
+  EXPECT_NE(warning.find("mid-file corruption"), std::string::npos) << warning;
+  EXPECT_NE(warning.find("line 2"), std::string::npos) << warning;
+  std::remove(path.c_str());
+}
+
 TEST(Sinks, TerminatePartialLineClosesAnInterruptedAppend) {
   const std::string path = "dispatch_test_partial.jsonl";
   write_file(path, {"{\"complete\":1}", "{\"trunc"}, /*trailing_newline=*/false);
@@ -401,6 +636,19 @@ TEST(Subprocess, RunsEchoLikeChildAndReportsExit) {
   EXPECT_EQ(describe(status), "exit code 0");
 }
 
+TEST(Subprocess, WriteStdinToADeadChildReturnsFalseInsteadOfSigpipe) {
+  // The dispatch loop's send() path: a worker that died between poll rounds
+  // must surface as a failed write (EPIPE with SIGPIPE ignored), never as a
+  // process-killing signal or a silent success.
+  std::signal(SIGPIPE, SIG_IGN);
+  Subprocess child({"/bin/sh", "-c", "exit 7"}, {});
+  const ExitStatus status = child.wait();  // child is certainly gone now
+  EXPECT_TRUE(status.exited);
+  EXPECT_EQ(status.code, 7);
+  EXPECT_EQ(describe(status), "exit code 7");
+  EXPECT_FALSE(child.write_stdin("{\"attempt\":1}\n"));
+}
+
 TEST(Subprocess, EnvOverridesReachTheChild) {
   Subprocess child({"/bin/sh", "-c", "printf '%s' \"$FEDHISYN_DISPATCH_TEST\""},
                    {"FEDHISYN_DISPATCH_TEST=42"});
@@ -417,11 +665,15 @@ TEST(Subprocess, EnvOverridesReachTheChild) {
 }  // namespace fedhisyn::exp
 
 int main(int argc, char** argv) {
-  // ProcessDispatcher self-execs this binary with --worker-cell: become a
-  // dispatch worker instead of running the suites.
+  // ProcessDispatcher self-execs this binary with --worker-cell, and the tcp
+  // tests self-exec it with --serve: become a dispatch worker instead of
+  // running the suites.
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--worker-cell") {
       return fedhisyn::exp::worker_cell_main();
+    }
+    if (std::string(argv[i]) == "--serve" && i + 1 < argc) {
+      return fedhisyn::exp::serve_main(argv[i + 1]);
     }
   }
   ::testing::InitGoogleTest(&argc, argv);
