@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 
 #include <fcntl.h>
 #include <netdb.h>
@@ -51,15 +52,31 @@ bool set_blocking(int fd, bool blocking) {
 
 HostPort parse_host_port(const std::string& spec, const std::string& default_host) {
   HostPort hp;
-  const std::size_t colon = spec.rfind(':');
-  const std::string port_text =
-      colon == std::string::npos ? spec : spec.substr(colon + 1);
-  hp.host = colon == std::string::npos ? default_host : spec.substr(0, colon);
+  std::string port_text;
+  if (!spec.empty() && spec[0] == '[') {
+    // [v6-literal]:port — the only accepted spelling for IPv6 addresses,
+    // since their own colons are ambiguous with the host:port separator.
+    const std::size_t close = spec.find(']');
+    FEDHISYN_CHECK_MSG(
+        close != std::string::npos && close + 1 < spec.size() && spec[close + 1] == ':',
+        "'" << spec << "' is not [v6-host]:port");
+    hp.host = spec.substr(1, close - 1);
+    port_text = spec.substr(close + 2);
+  } else {
+    const std::size_t colon = spec.find(':');
+    FEDHISYN_CHECK_MSG(
+        colon == std::string::npos || spec.find(':', colon + 1) == std::string::npos,
+        "'" << spec << "' has more than one ':' — write IPv6 literals as [host]:port");
+    port_text = colon == std::string::npos ? spec : spec.substr(colon + 1);
+    hp.host = colon == std::string::npos ? default_host : spec.substr(0, colon);
+  }
   if (hp.host.empty()) hp.host = default_host;
-  char* end = nullptr;
-  const long port = std::strtol(port_text.c_str(), &end, 10);
-  FEDHISYN_CHECK_MSG(!port_text.empty() && end == port_text.c_str() + port_text.size() &&
-                         port >= 0 && port <= 65535,
+  // Digits only: strtol's tolerance for signs ("+8080", "-0") would accept
+  // specs no human meant to write.
+  bool digits = !port_text.empty();
+  for (const char c : port_text) digits = digits && c >= '0' && c <= '9';
+  const long port = digits ? std::strtol(port_text.c_str(), nullptr, 10) : -1;
+  FEDHISYN_CHECK_MSG(digits && port >= 0 && port <= 65535,
                      "'" << spec << "' is not a [host:]port — bad port '"
                          << port_text << "'");
   hp.port = static_cast<std::uint16_t>(port);
@@ -106,6 +123,10 @@ int Deadline::poll_timeout_ms() const {
   const auto ms =
       std::chrono::duration_cast<std::chrono::milliseconds>(remaining).count();
   if (ms <= 0) return 0;
+  // Clamp before the narrowing cast: a huge timeout (e.g. a fat-fingered
+  // FEDHISYN_CELL_TIMEOUT_S) must saturate, not overflow to a negative value
+  // that poll(2) would treat as "wait forever".
+  if (ms >= std::numeric_limits<int>::max()) return std::numeric_limits<int>::max();
   // +1 so we never poll for slightly less than the remaining time, wake a
   // hair early and spin on 0 ms timeouts.
   return static_cast<int>(ms) + 1;
@@ -204,11 +225,22 @@ int tcp_connect(const std::string& host, std::uint16_t port,
 }
 
 bool write_all(int fd, const std::string& data) {
+  // send(MSG_NOSIGNAL) keeps a write to a vanished peer from raising SIGPIPE
+  // even in processes that never installed SIG_IGN; pipes reject send() with
+  // ENOTSOCK, so those fall back to plain write().
+  bool is_socket = true;
   std::size_t written = 0;
   while (written < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    const ssize_t n =
+        is_socket
+            ? ::send(fd, data.data() + written, data.size() - written, MSG_NOSIGNAL)
+            : ::write(fd, data.data() + written, data.size() - written);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (is_socket && errno == ENOTSOCK) {
+        is_socket = false;
+        continue;
+      }
       return false;
     }
     written += static_cast<std::size_t>(n);

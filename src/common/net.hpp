@@ -24,9 +24,10 @@ struct HostPort {
   std::uint16_t port = 0;
 };
 
-/// Parse "host:port" or bare "port" (host defaults to `default_host`).
-/// Port 0 is allowed (bind-side "pick an ephemeral port"); anything
-/// non-numeric or > 65535 check-fails.
+/// Parse "host:port", "[v6-host]:port" or bare "port" (host defaults to
+/// `default_host`).  Port 0 is allowed (bind-side "pick an ephemeral port");
+/// a non-digit port, a port > 65535, or a bare IPv6 literal (use brackets)
+/// check-fails.
 HostPort parse_host_port(const std::string& spec, const std::string& default_host);
 
 /// Parse a comma-separated "host:port,host:port,..." worker list.

@@ -351,6 +351,12 @@ struct DispatchConfig {
 /// never drift apart.
 std::vector<CellResult> run_dispatch(const DispatchConfig& config,
                                      const std::vector<ExperimentSpec>& specs) {
+  // The coordinator itself must survive a peer vanishing mid-send: a write
+  // to a reset connection (worker killed mid-sweep) must fail with EPIPE and
+  // flow into the retry path, not raise SIGPIPE and kill the whole sweep.
+  // A pure TCP coordinator never constructs a Subprocess, so this cannot be
+  // left to the link implementations.
+  ignore_sigpipe();
   const std::size_t n = specs.size();
   std::vector<CellResult> results(n);
   if (n == 0) return results;
@@ -636,7 +642,8 @@ std::vector<std::string> TcpDispatcher::hosts_from_env() {
     if (*c == ',') {
       if (!item.empty()) hosts.push_back(item);
       item.clear();
-    } else {
+    } else if (*c != ' ') {
+      // Mirror net::parse_host_list: "a:1, b:2" must not yield host " b".
       item.push_back(*c);
     }
   }

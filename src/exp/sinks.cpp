@@ -193,20 +193,19 @@ std::vector<ScannedResult> scan_results(const std::string& path) {
   std::string line;
   std::size_t line_number = 0;
   // A truncated *trailing* line is the expected debris of an interrupted
-  // append and is skipped silently; a bad line *followed by well-formed
-  // lines* means the middle of the file was corrupted (torn rewrite, disk
-  // fault) and deserves a loud warning — those cells silently rerun.
+  // append and is skipped silently; an *unparseable* line followed by
+  // well-formed lines means the middle of the file was corrupted (torn
+  // rewrite, disk fault) and deserves a loud warning — those cells silently
+  // rerun.  Well-formed JSON that merely lacks our keys (another schema's
+  // line, a foreign tool's output) is not corruption and stays silent.
   std::size_t first_bad_line = 0;  // 1-based; 0 = none seen yet
   bool warned_mid_file = false;
-  const auto note_bad = [&] {
-    if (first_bad_line == 0) first_bad_line = line_number;
-  };
   while (std::getline(in, line)) {
     ++line_number;
     if (line.empty()) continue;
     const auto doc = json::try_parse(line);
     if (!doc.has_value() || doc->kind != json::Value::Kind::kObject) {
-      note_bad();
+      if (first_bad_line == 0) first_bad_line = line_number;
       continue;
     }
     const json::Value* key = doc->find("key");
@@ -216,7 +215,6 @@ std::vector<ScannedResult> scan_results(const std::string& path) {
     const json::Value* rounds = doc->find("rounds_to_target");
     if (key == nullptr || final_acc == nullptr || best_acc == nullptr ||
         comm == nullptr || rounds == nullptr) {
-      note_bad();
       continue;
     }
     if (first_bad_line != 0 && !warned_mid_file) {

@@ -465,7 +465,9 @@ TEST(TcpDispatch, NoWorkersConfiguredCheckFails) {
 
 TEST(TcpDispatch, HostsResolveFromEnvWhenOptionsAreEmpty) {
   {
-    ScopedEnv workers("FEDHISYN_WORKERS", "hostA:7800,hostB:7801");
+    // Spaces after commas are stripped, matching net::parse_host_list —
+    // " hostB" would otherwise fail resolution at sweep startup.
+    ScopedEnv workers("FEDHISYN_WORKERS", "hostA:7800, hostB:7801");
     const auto hosts = TcpDispatcher::hosts_from_env();
     ASSERT_EQ(hosts.size(), 2u);
     EXPECT_EQ(hosts[0], "hostA:7800");
@@ -579,6 +581,14 @@ TEST(Sinks, ScanResultsWarnsOnMidFileCorruptionButNotOnATruncatedTail) {
   write_file(path, {to_jsonl_line(first), "{\"label\":\"trunc"});
   testing::internal::CaptureStderr();
   EXPECT_EQ(scan_results(path).size(), 1u);
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+
+  // Well-formed JSON from a foreign schema is not corruption: skipped, but
+  // silently, even with good lines after it.
+  write_file(path, {to_jsonl_line(first), "{\"other_tool\":true}",
+                    to_jsonl_line(second)});
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(scan_results(path).size(), 2u);
   EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
 
   // Bad line *followed by* a well-formed one: mid-file corruption — loud.

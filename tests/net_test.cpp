@@ -71,6 +71,19 @@ TEST(ParseHostPort, MalformedSpecsCheckFail) {
   EXPECT_THROW(parse_host_port("host:notaport", "h"), CheckError);
   EXPECT_THROW(parse_host_port("host:70000", "h"), CheckError);
   EXPECT_THROW(parse_host_port("host:-1", "h"), CheckError);
+  // strtol would happily take a sign; the port must be digits only.
+  EXPECT_THROW(parse_host_port("host:+8080", "h"), CheckError);
+}
+
+TEST(ParseHostPort, IPv6LiteralsNeedBrackets) {
+  const HostPort v6 = parse_host_port("[::1]:7800", "x");
+  EXPECT_EQ(v6.host, "::1");
+  EXPECT_EQ(v6.port, 7800);
+  // Bare literals are ambiguous ("::1" would split as host ":" port 1).
+  EXPECT_THROW(parse_host_port("::1", "h"), CheckError);
+  EXPECT_THROW(parse_host_port("fe80::2:7800", "h"), CheckError);
+  EXPECT_THROW(parse_host_port("[::1]", "h"), CheckError);   // no port
+  EXPECT_THROW(parse_host_port("[::1]7800", "h"), CheckError);
 }
 
 TEST(ParseHostList, SplitsAndAppliesDefaults) {
@@ -101,6 +114,10 @@ TEST(DeadlineTest, AfterExpiresAndClampsPollTimeout) {
   const Deadline past = Deadline::after(0.0);
   EXPECT_TRUE(past.expired());
   EXPECT_EQ(past.poll_timeout_ms(), 0);
+  // A huge timeout must saturate, not overflow int into poll(2)'s "wait
+  // forever" (negative) range.
+  const Deadline huge = Deadline::after(1e9);
+  EXPECT_GT(huge.poll_timeout_ms(), 0);
 }
 
 // ------------------------------------------------------------ LineReader --
@@ -239,9 +256,12 @@ TEST(Tcp, ConnectToARefusedPortReturnsMinusOne) {
 }
 
 TEST(Tcp, WriteAllToAVanishedPeerReturnsFalse) {
-  // The dispatch loop sends requests with SIGPIPE ignored and treats a
-  // failed send as a dead link; write_all must deliver false, not a signal.
-  std::signal(SIGPIPE, SIG_IGN);
+  // Deliberately leave SIGPIPE at its *default* (process-killing)
+  // disposition: on sockets write_all uses send(MSG_NOSIGNAL), so a dead
+  // peer must surface as `false` even in a process that never installed
+  // SIG_IGN — the exact coordinator-vs-reset-worker case.  A regression
+  // here kills the test binary, which is loud enough.
+  std::signal(SIGPIPE, SIG_DFL);
   int pair[2] = {-1, -1};
   ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair), 0);
   ::close(pair[1]);
@@ -254,6 +274,7 @@ TEST(Tcp, WriteAllToAVanishedPeerReturnsFalse) {
   }
   EXPECT_TRUE(failed);
   ::close(pair[0]);
+  std::signal(SIGPIPE, SIG_IGN);  // don't leave a lethal disposition behind
 }
 
 }  // namespace
