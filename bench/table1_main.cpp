@@ -25,6 +25,7 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/env.hpp"
@@ -97,7 +98,9 @@ int main(int argc, char** argv) {
   }
   table.print();
   table.maybe_write_csv("table1");
-  const exp::GridScheduler budget({.jobs = grid_options.grid_jobs});
+  exp::GridScheduler::Options budget_options;
+  budget_options.jobs = grid_options.grid_jobs;
+  const exp::GridScheduler budget(std::move(budget_options));
   std::printf("grid: %zu cells, %zu jobs x %zu threads, %.1fs wall\n", cells.size(),
               budget.resolved_jobs(cells.size()),
               budget.inner_threads(budget.resolved_jobs(cells.size())), elapsed);

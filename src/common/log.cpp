@@ -2,13 +2,17 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/thread_annotations.hpp"
 
 namespace fedhisyn {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex g_mutex;
+/// Serialises whole log lines onto stderr: the stream itself is the guarded
+/// resource, so there is no GUARDED_BY field — emitters take the lock for
+/// the duration of one fprintf.
+Mutex g_stderr_mutex;
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -28,7 +32,7 @@ LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
 namespace detail {
 void log_emit(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < g_level.load()) return;
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_stderr_mutex);
   std::fprintf(stderr, "[%s] %s\n", level_tag(level), message.c_str());
 }
 }  // namespace detail

@@ -50,9 +50,12 @@ ParallelExecutor::~ParallelExecutor() { stop_workers(); }
 
 void ParallelExecutor::start_workers(std::size_t threads) {
   if (threads < 1) threads = 1;
-  // Workers begin with seen == 0; restart the generation clock so a pool
-  // resized after running jobs doesn't hand new workers a phantom stale job.
-  generation_ = 0;
+  {
+    // Workers begin with seen == 0; restart the generation clock so a pool
+    // resized after running jobs doesn't hand new workers a phantom stale job.
+    MutexLock lock(mutex_);
+    generation_ = 0;
+  }
   workers_.reserve(threads - 1);
   for (std::size_t slot = 1; slot < threads; ++slot) {
     workers_.emplace_back([this, slot] { worker_loop(slot); });
@@ -61,13 +64,16 @@ void ParallelExecutor::start_workers(std::size_t threads) {
 
 void ParallelExecutor::stop_workers() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_work_.notify_all();
   for (auto& worker : workers_) worker.join();
   workers_.clear();
-  stop_ = false;
+  {
+    MutexLock lock(mutex_);
+    stop_ = false;
+  }
 }
 
 void ParallelExecutor::set_thread_count(std::size_t threads) {
@@ -81,8 +87,10 @@ void ParallelExecutor::worker_loop(std::size_t slot) {
     const Body* body = nullptr;
     std::size_t n = 0;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_work_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      // Explicit wait loop (not the predicate overload): the analysis can
+      // see the guarded reads happen under the lock this way.
+      MutexLock lock(mutex_);
+      while (!stop_ && generation_ == seen) cv_work_.wait(mutex_);
       if (stop_) return;
       seen = generation_;
       body = body_;
@@ -90,7 +98,7 @@ void ParallelExecutor::worker_loop(std::size_t slot) {
     }
     run_span(*body, n, slot);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (--active_workers_ == 0) cv_done_.notify_all();
     }
   }
@@ -107,7 +115,7 @@ void ParallelExecutor::run_span(const Body& body, std::size_t n, std::size_t slo
     try {
       body(i, slot);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (!error_) error_ = std::current_exception();
     }
   }
@@ -146,7 +154,7 @@ void ParallelExecutor::parallel_for(std::size_t n, const Body& body) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (dispatching_) {
       throw std::logic_error(
           "ParallelExecutor::parallel_for: concurrent top-level dispatch from "
@@ -164,8 +172,8 @@ void ParallelExecutor::parallel_for(std::size_t n, const Body& body) {
   run_span(body, n, /*slot=*/0);
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_done_.wait(lock, [&] { return active_workers_ == 0; });
+    MutexLock lock(mutex_);
+    while (active_workers_ != 0) cv_done_.wait(mutex_);
     error = error_;
     error_ = nullptr;
     body_ = nullptr;

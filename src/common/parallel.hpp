@@ -25,10 +25,11 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace fedhisyn {
 
@@ -120,21 +121,30 @@ class ParallelExecutor {
  private:
   void worker_loop(std::size_t slot);
   void run_span(const Body& body, std::size_t n, std::size_t slot);
-  void start_workers(std::size_t threads);
-  void stop_workers();
+  void start_workers(std::size_t threads) FEDHISYN_EXCLUDES(mutex_);
+  void stop_workers() FEDHISYN_EXCLUDES(mutex_);
 
+  /// Structural state: mutated only by start_workers/stop_workers, which the
+  /// API forbids calling concurrently with a parallel_for (workers are
+  /// joined before the vector changes), so it needs no guard.
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable cv_work_;
-  std::condition_variable cv_done_;
-  std::uint64_t generation_ = 0;
-  bool stop_ = false;
-  const Body* body_ = nullptr;
-  std::size_t job_n_ = 0;
-  std::atomic<std::size_t> next_{0};
-  std::size_t active_workers_ = 0;
-  std::exception_ptr error_;
-  bool dispatching_ = false;  // guards the single top-level job slot
+
+  Mutex mutex_;
+  /// condition_variable_any so the annotated Mutex can be waited on
+  /// directly; guarded reads in wait loops stay visible to the analysis.
+  std::condition_variable_any cv_work_;
+  std::condition_variable_any cv_done_;
+  /// Job clock: bumped once per dispatched parallel_for; a worker whose
+  /// `seen` lags behind has a job waiting.
+  std::uint64_t generation_ FEDHISYN_GUARDED_BY(mutex_) = 0;
+  bool stop_ FEDHISYN_GUARDED_BY(mutex_) = false;
+  const Body* body_ FEDHISYN_GUARDED_BY(mutex_) = nullptr;
+  std::size_t job_n_ FEDHISYN_GUARDED_BY(mutex_) = 0;
+  std::atomic<std::size_t> next_{0};  // index claim counter, lock-free
+  std::size_t active_workers_ FEDHISYN_GUARDED_BY(mutex_) = 0;
+  std::exception_ptr error_ FEDHISYN_GUARDED_BY(mutex_);
+  /// Guards the single top-level job slot.
+  bool dispatching_ FEDHISYN_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace fedhisyn

@@ -1,0 +1,116 @@
+// Portable Clang thread-safety-analysis annotations plus the annotated
+// Mutex/MutexLock primitives the library's concurrency code is written
+// against.
+//
+// Under clang the macros expand to the capability attributes behind
+// -Wthread-safety, so the locking discipline of every annotated structure
+// (which fields a mutex guards, which functions require it) is checked at
+// compile time — the `clang-thread-safety` CI job builds with
+// -Werror=thread-safety.  Under every other compiler they expand to nothing.
+//
+// std::mutex carries no capability annotations on libstdc++, so GUARDED_BY
+// would be inert against it; fedhisyn::Mutex wraps it with annotated
+// lock()/unlock() and satisfies BasicLockable, meaning it can be waited on
+// directly with std::condition_variable_any:
+//
+//   Mutex mutex_;
+//   std::condition_variable_any cv_;
+//   int value_ FEDHISYN_GUARDED_BY(mutex_);
+//
+//   MutexLock lock(mutex_);
+//   while (value_ == 0) cv_.wait(mutex_);   // guarded reads stay in view of
+//                                           // the analysis (no predicate
+//                                           // lambda, which it cannot see
+//                                           // the lock inside of)
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__)
+#define FEDHISYN_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define FEDHISYN_THREAD_ANNOTATION(x)
+#endif
+
+/// A type that is a synchronisation capability (a mutex).
+#define FEDHISYN_CAPABILITY(x) FEDHISYN_THREAD_ANNOTATION(capability(x))
+
+/// An RAII type that acquires a capability in its constructor and releases
+/// it in its destructor.
+#define FEDHISYN_SCOPED_CAPABILITY FEDHISYN_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the given capability.
+#define FEDHISYN_GUARDED_BY(x) FEDHISYN_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given capability.
+#define FEDHISYN_PT_GUARDED_BY(x) FEDHISYN_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that must be called with the capability held (and keeps it held).
+#define FEDHISYN_REQUIRES(...) \
+  FEDHISYN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that acquires the capability and holds it on return.
+#define FEDHISYN_ACQUIRE(...) \
+  FEDHISYN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases a held capability.
+#define FEDHISYN_RELEASE(...) \
+  FEDHISYN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability iff it returns the given value.
+#define FEDHISYN_TRY_ACQUIRE(...) \
+  FEDHISYN_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function that must NOT be called with the capability held (deadlock guard).
+#define FEDHISYN_EXCLUDES(...) \
+  FEDHISYN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returning a reference to the given capability.
+#define FEDHISYN_RETURN_CAPABILITY(x) \
+  FEDHISYN_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function's locking is intentionally out of the
+/// analysis's reach (document why at every use site).
+#define FEDHISYN_NO_THREAD_SAFETY_ANALYSIS \
+  FEDHISYN_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+/// Runtime assertion that the capability is held (trusted by the analysis).
+#define FEDHISYN_ASSERT_CAPABILITY(x) \
+  FEDHISYN_THREAD_ANNOTATION(assert_capability(x))
+
+namespace fedhisyn {
+
+/// std::mutex with capability annotations.  BasicLockable, so it works with
+/// std::lock_guard, std::scoped_lock and std::condition_variable_any — but
+/// prefer MutexLock, whose scope the analysis understands.
+class FEDHISYN_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() FEDHISYN_ACQUIRE() { impl_.lock(); }
+  void unlock() FEDHISYN_RELEASE() { impl_.unlock(); }
+  bool try_lock() FEDHISYN_TRY_ACQUIRE(true) { return impl_.try_lock(); }
+
+ private:
+  std::mutex impl_;
+};
+
+/// RAII lock on a Mutex, visible to the thread-safety analysis as a scoped
+/// capability (std::lock_guard<Mutex> would hold the lock just as well, but
+/// the analysis would not credit the scope with the capability).
+class FEDHISYN_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) FEDHISYN_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() FEDHISYN_RELEASE() { mutex_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+}  // namespace fedhisyn

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <map>
-#include <mutex>
 #include <sstream>
 
 #include "common/check.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/fedat.hpp"
 #include "core/fedasync.hpp"
 #include "core/fedavg_family.hpp"
@@ -23,8 +23,8 @@ struct Entry {
 };
 
 struct Registry {
-  std::mutex mutex;
-  std::map<std::string, Entry> factories;
+  Mutex mutex;
+  std::map<std::string, Entry> factories FEDHISYN_GUARDED_BY(mutex);
 };
 
 Registry& registry() {
@@ -88,7 +88,7 @@ bool register_algorithm(std::string name, std::string description,
   FEDHISYN_CHECK_MSG(!description.empty(),
                      "empty description for '" << name << "'");
   auto& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  MutexLock lock(reg.mutex);
   const bool inserted =
       reg.factories
           .emplace(std::move(name),
@@ -100,7 +100,7 @@ bool register_algorithm(std::string name, std::string description,
 
 std::vector<std::string> registered_methods() {
   auto& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  MutexLock lock(reg.mutex);
   std::vector<std::string> names;
   names.reserve(reg.factories.size());
   for (const auto& [name, entry] : reg.factories) names.push_back(name);
@@ -109,7 +109,7 @@ std::vector<std::string> registered_methods() {
 
 std::string method_description(const std::string& name) {
   auto& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  MutexLock lock(reg.mutex);
   const auto it = reg.factories.find(name);
   FEDHISYN_CHECK_MSG(it != reg.factories.end(),
                      "unknown algorithm '" << name << "'");
@@ -118,7 +118,7 @@ std::string method_description(const std::string& name) {
 
 bool algorithm_registered(const std::string& name) {
   auto& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  MutexLock lock(reg.mutex);
   return reg.factories.count(name) > 0;
 }
 
@@ -127,7 +127,7 @@ std::unique_ptr<FlAlgorithm> make_algorithm(const std::string& name,
   AlgorithmFactory factory;
   {
     auto& reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mutex);
+    MutexLock lock(reg.mutex);
     const auto it = reg.factories.find(name);
     if (it != reg.factories.end()) factory = it->second.factory;
   }

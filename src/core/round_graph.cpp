@@ -305,6 +305,15 @@ RoundGraphStats RoundGraphExecutor::run(RoundGraph& graph, const TrainFn& train,
   }
 
   // ------------------------------------------------------- kOverlap mode --
+  //
+  // Concurrency discipline (checked by review + TSan, not locks): all
+  // wavefront and speculation state (nodes, done, spec_guess/spec_output,
+  // batch, refs) is read and written on the caller thread between waves;
+  // during a wave the pool body touches only its own batch[i]'s job — its
+  // input nodes (made stable before dispatch: moves happen only via the
+  // job's own make_model, guesses are copied pre-dispatch) and its private
+  // output slot.  parallel_for's barrier orders every wave's writes before
+  // the epilogue's reads, so the engine needs no mutex to annotate.
   auto& pool = ParallelExecutor::current();
   const std::size_t threads = pool.thread_count();
   std::vector<std::vector<std::size_t>> by_level(

@@ -349,6 +349,13 @@ struct DispatchConfig {
 /// worker deaths and blown deadlines into bounded retries.  This is the one
 /// place deadline/retry semantics live, so the process and tcp paths can
 /// never drift apart.
+///
+/// Concurrency discipline (checked by review, not locks): the coordinator is
+/// strictly single-threaded — every Slot, the pending deque, attempts and
+/// results are touched only from this function's poll loop, so there is
+/// deliberately no mutex to annotate here.  Parallelism lives in the workers
+/// (other processes/hosts); the only shared-state primitive on the
+/// coordinator side is ignore_sigpipe()'s once_flag.
 std::vector<CellResult> run_dispatch(const DispatchConfig& config,
                                      const std::vector<ExperimentSpec>& specs) {
   // The coordinator itself must survive a peer vanishing mid-send: a write

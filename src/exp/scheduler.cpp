@@ -12,6 +12,7 @@
 #include "common/check.hpp"
 #include "common/env.hpp"
 #include "common/parallel.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/registry.hpp"
 #include "exp/dispatch.hpp"
 
@@ -32,11 +33,13 @@ class BuildCache {
   std::shared_ptr<const core::BuiltExperiment> get(const ExperimentSpec& spec) {
     std::shared_ptr<Entry> entry;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       auto& slot = entries_[spec.build_key()];
       if (slot == nullptr) slot = std::make_shared<Entry>();
       entry = slot;
     }
+    // The build itself runs outside mutex_ (cells with *different* keys must
+    // build concurrently); the entry's once_flag serialises same-key callers.
     std::call_once(entry->once, [&] { entry->built = build_for(spec); });
     return entry->built;
   }
@@ -46,8 +49,9 @@ class BuildCache {
     std::once_flag once;
     std::shared_ptr<const core::BuiltExperiment> built;
   };
-  std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<Entry>> entries_;
+  Mutex mutex_;
+  std::map<std::string, std::shared_ptr<Entry>> entries_
+      FEDHISYN_GUARDED_BY(mutex_);
 };
 
 }  // namespace
@@ -147,15 +151,17 @@ std::vector<CellResult> GridScheduler::run(
   }
 
   BuildCache cache;
-  std::mutex progress_mutex;
-  std::size_t done = 0;
+  struct Progress {
+    Mutex mutex;
+    std::size_t done FEDHISYN_GUARDED_BY(mutex) = 0;
+  } progress;
   const auto run_one = [&](std::size_t i) {
     std::shared_ptr<const core::BuiltExperiment> built =
         options_.share_builds ? cache.get(specs[i]) : build_for(specs[i]);
     results[i] = run_cell(specs[i], *built);
     if (options_.on_cell) {
-      std::lock_guard<std::mutex> lock(progress_mutex);
-      options_.on_cell(++done, specs.size(), results[i]);
+      MutexLock lock(progress.mutex);
+      options_.on_cell(++progress.done, specs.size(), results[i]);
     }
   };
 
@@ -170,8 +176,10 @@ std::vector<CellResult> GridScheduler::run(
   const std::size_t inner = inner_threads(jobs);
   std::atomic<std::size_t> next{0};
   std::atomic<bool> abort{false};
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
+  struct ErrorSlot {
+    Mutex mutex;
+    std::exception_ptr first FEDHISYN_GUARDED_BY(mutex);
+  } error_slot;
   std::vector<std::thread> workers;
   workers.reserve(jobs);
   for (std::size_t j = 0; j < jobs; ++j) {
@@ -190,13 +198,18 @@ std::vector<CellResult> GridScheduler::run(
           run_one(i);
         } catch (...) {
           abort.store(true, std::memory_order_relaxed);
-          std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
+          MutexLock lock(error_slot.mutex);
+          if (!error_slot.first) error_slot.first = std::current_exception();
         }
       }
     });
   }
   for (auto& worker : workers) worker.join();
+  std::exception_ptr first_error;
+  {
+    MutexLock lock(error_slot.mutex);
+    first_error = error_slot.first;
+  }
   if (first_error) std::rethrow_exception(first_error);
   return results;
 }

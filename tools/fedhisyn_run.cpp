@@ -1,8 +1,8 @@
 // fedhisyn_run — command-line driver for single experiments, built on the
 // declarative experiment API (exp::ExperimentSpec + exp::run_cell).
 //
-//   fedhisyn_run --dataset cifar10 --method FedHiSyn --beta 0.3 \
-//                --participation 0.5 --clusters 10 --rounds 50 \
+//   fedhisyn_run --dataset cifar10 --method FedHiSyn --beta 0.3
+//                --participation 0.5 --clusters 10 --rounds 50
 //                --history-csv run.csv --save-model final.fhsw
 //
 // Flags (all optional; defaults follow the paper's §6.1 setting):
