@@ -5,12 +5,17 @@
 // the dispatch machinery dominates) through GridScheduler three times —
 // thread backend, process backend, and the tcp backend against two --serve
 // workers self-exec'd on loopback — and reports wall time, cells/sec and the
-// derived per-cell dispatch overhead.  Emits machine-readable
-// BENCH_dispatch.json; CI gates cells_per_sec against
+// derived per-cell dispatch overhead.  A fourth sub-bench measures the
+// worker-side multi-build LRU cache (exp/build_cache.hpp): a
+// build-interleaved 2-build sweep of build-heavy cells on one process
+// worker, cold (FEDHISYN_BUILD_CACHE_MB=0) vs warm (default budget), where
+// the affinity pass + resident cache must beat rebuild-per-cell by >= 2x.
+// Emits machine-readable BENCH_dispatch.json; CI gates cells_per_sec (and
+// cells_per_sec_warm for the cache entry) against
 // bench/baselines/BENCH_dispatch.json via tools/bench_gate.py (the floors
 // are curated far below any healthy run, so the gate catches a dispatcher
-// that starts respawning workers per cell or serialising the pool, not
-// runner-hardware noise).
+// that starts respawning workers per cell, serialising the pool or
+// rebuilding datasets per request, not runner-hardware noise).
 //
 //   ./bench_dispatch_overhead [--out BENCH_dispatch.json] [--cells N]
 //                             [--jobs N] [--repeat N]
@@ -18,6 +23,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -93,6 +99,9 @@ int main(int argc, char** argv) {
   using namespace fedhisyn;
   const auto flags = Flags::parse(argc - 1, argv + 1);
   exp::handle_grid_flags(flags);  // --worker-cell / --threads / --list-methods
+  // The sweeps below use many distinct builds; keep the workers' per-build
+  // cache log lines out of the bench output.
+  ::setenv("FEDHISYN_QUIET", "1", /*overwrite=*/1);
 
   const std::size_t cells = static_cast<std::size_t>(flags.get_long("cells", 12));
   const std::size_t jobs = static_cast<std::size_t>(flags.get_long("jobs", 2));
@@ -134,9 +143,49 @@ int main(int argc, char** argv) {
     tcp_wall = run_backend(specs, std::move(options), repeat);
   }
 
+  // Warm-vs-cold build cache: a build-interleaved 2-build sweep on ONE
+  // process worker, with build-heavy cells (32 devices x 64 samples to
+  // generate and partition, but participation 1/8 so only 4 devices train
+  // one round) — the regime the multi-build LRU cache exists for.  Cold
+  // disables the cache (FEDHISYN_BUILD_CACHE_MB=0, inherited by the worker):
+  // every cell rebuilds.  Warm uses the default budget: the coordinator's
+  // affinity pass plus the resident cache reduce the interleave to one build
+  // per key.
+  exp::ExperimentGrid cache_grid;
+  cache_grid.base().build.scale.devices = 32;
+  cache_grid.base().build.scale.train_samples_per_device = 64;
+  cache_grid.base().build.scale.test_samples = 64;
+  cache_grid.base().build.scale.rounds = 1;
+  cache_grid.base().build.mlp_hidden = {8};
+  cache_grid.base().opts.local_epochs = 1;
+  cache_grid.base().opts.batch_size = 32;
+  cache_grid.base().opts.participation = 0.125;
+  cache_grid.base().opts.clusters = 1;
+  cache_grid.base().method = "FedAvg";
+  cache_grid.base().target = 0.999f;
+  cache_grid.base().with_seed(200);
+  const auto cache_cell_a = cache_grid.expand().at(0);
+  cache_grid.base().with_seed(201);
+  const auto cache_cell_b = cache_grid.expand().at(0);
+  constexpr std::size_t kCacheCells = 8;
+  std::vector<exp::ExperimentSpec> cache_specs;
+  cache_specs.reserve(kCacheCells);
+  for (std::size_t i = 0; i < kCacheCells; ++i) {
+    cache_specs.push_back(i % 2 == 0 ? cache_cell_a : cache_cell_b);
+  }
+  ::setenv("FEDHISYN_BUILD_CACHE_MB", "0", /*overwrite=*/1);
+  const double cold_wall =
+      run_backend(cache_specs, exp::CellBackend::kProcess, 1, repeat);
+  ::unsetenv("FEDHISYN_BUILD_CACHE_MB");
+  const double warm_wall =
+      run_backend(cache_specs, exp::CellBackend::kProcess, 1, repeat);
+
   const double thread_cps = static_cast<double>(cells) / thread_wall;
   const double process_cps = static_cast<double>(cells) / process_wall;
   const double tcp_cps = static_cast<double>(cells) / tcp_wall;
+  const double cold_cps = static_cast<double>(kCacheCells) / cold_wall;
+  const double warm_cps = static_cast<double>(kCacheCells) / warm_wall;
+  const double warm_over_cold = cold_wall / warm_wall;
   const double overhead_ms =
       (process_wall - thread_wall) / static_cast<double>(cells) * 1000.0;
   const double tcp_overhead_ms =
@@ -152,6 +201,12 @@ int main(int argc, char** argv) {
   std::printf("tcp     backend: %7.3fs wall, %8.1f cells/sec, %+.2f ms/cell dispatch "
               "overhead (2 loopback --serve workers)\n",
               tcp_wall, tcp_cps, tcp_overhead_ms);
+  std::printf("build cache (interleaved 2-build sweep, %zu cells, 1 worker):\n",
+              kCacheCells);
+  std::printf("  cold (cache off): %7.3fs wall, %8.1f cells/sec\n", cold_wall,
+              cold_cps);
+  std::printf("  warm (default):   %7.3fs wall, %8.1f cells/sec  (%.2fx cold)\n",
+              warm_wall, warm_cps, warm_over_cold);
 
   char buf[256];
   std::string json = "{\n  \"schema\": \"fedhisyn-dispatch-overhead/1\",\n";
@@ -172,8 +227,15 @@ int main(int argc, char** argv) {
   std::snprintf(buf, sizeof(buf),
                 "    {\"name\": \"tcp/w2\", \"backend\": \"tcp\", "
                 "\"wall_s\": %.4f, \"cells_per_sec\": %.2f, "
-                "\"overhead_ms_per_cell\": %.3f}\n",
+                "\"overhead_ms_per_cell\": %.3f},\n",
                 tcp_wall, tcp_cps, tcp_overhead_ms);
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "    {\"name\": \"cache/2build\", \"backend\": \"process\", "
+                "\"wall_s_cold\": %.4f, \"wall_s_warm\": %.4f, "
+                "\"cells_per_sec_cold\": %.2f, \"cells_per_sec_warm\": %.2f, "
+                "\"warm_over_cold\": %.3f}\n",
+                cold_wall, warm_wall, cold_cps, warm_cps, warm_over_cold);
   json += buf;
   json += "  ]\n}\n";
 

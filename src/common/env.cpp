@@ -35,6 +35,13 @@ bool speculate_from_env() {
            std::strcmp(value, "false") == 0);
 }
 
+bool quiet_from_env() {
+  const char* value = std::getenv("FEDHISYN_QUIET");
+  if (value == nullptr || value[0] == '\0') return false;
+  return !(std::strcmp(value, "0") == 0 || std::strcmp(value, "off") == 0 ||
+           std::strcmp(value, "false") == 0);
+}
+
 GemmTune gemm_tune_from_env() {
   GemmTune tune;
   const char* value = std::getenv("FEDHISYN_GEMM_TUNE");

@@ -37,6 +37,16 @@
 //                            task.  Tuning changes scheduling and pack-buffer
 //                            shapes only, never the per-element reduction
 //                            order, so results stay bit-identical.
+//   FEDHISYN_BUILD_CACHE_MB=M
+//                            byte budget (MiB, fractional allowed) of the
+//                            BuiltExperiment cache every execution backend
+//                            shares (exp/build_cache.hpp).  0 disables
+//                            caching; unset = a default sized to hold the
+//                            full Table-1 sweep.  Caching changes when
+//                            builds happen, never result bytes.
+//   FEDHISYN_QUIET=1         suppress the dispatch workers' per-build cache
+//                            log lines on stderr (--quiet sets this so child
+//                            workers inherit it).
 #pragma once
 
 #include <string>
@@ -57,6 +67,10 @@ double env_double(const std::string& name, double fallback);
 /// FEDHISYN_SPECULATE: false when set to "0", "off" or "false", true
 /// otherwise (including unset) — speculative round execution is the default.
 bool speculate_from_env();
+
+/// FEDHISYN_QUIET: true when set to anything but "0"/"off"/"false"/empty —
+/// the dispatch workers then skip their per-build cache log lines.
+bool quiet_from_env();
 
 /// Blocked-GEMM tiling knobs.  Zero fields mean "use the kernel's default";
 /// the kernel clamps and rounds to micro-tile multiples.

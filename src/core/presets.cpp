@@ -36,6 +36,22 @@ float target_accuracy(const std::string& dataset) {
   return 0.0f;
 }
 
+std::size_t BuiltExperiment::memory_bytes() const {
+  const auto dataset_bytes = [](const data::Dataset& dataset) {
+    return static_cast<std::size_t>(dataset.x.numel()) * sizeof(float) +
+           dataset.y.size() * sizeof(std::int32_t);
+  };
+  std::size_t bytes = dataset_bytes(fed.train) + dataset_bytes(fed.test);
+  for (const auto& shard : fed.shards) {
+    bytes += shard.indices().size() * sizeof(std::int64_t);
+  }
+  if (network != nullptr) {
+    bytes += static_cast<std::size_t>(network->param_count()) * sizeof(float);
+  }
+  bytes += fleet.size() * sizeof(sim::DeviceProfile);
+  return bytes;
+}
+
 FlContext BuiltExperiment::context(const FlOptions& opts) const {
   FlContext ctx;
   ctx.network = network.get();

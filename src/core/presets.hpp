@@ -46,6 +46,14 @@ struct BuiltExperiment {
 
   /// Non-owning view for the algorithms.
   FlContext context(const FlOptions& opts) const;
+
+  /// Heap footprint of the build's dominant payloads: train/test sample
+  /// tensors and labels, per-device shard index vectors, model parameters
+  /// and the fleet profile.  Small fixed overheads (struct headers, vector
+  /// capacity slack) are excluded — this is the sizing signal
+  /// exp::BuildCache charges its LRU byte budget with, not an allocator
+  /// audit.
+  std::size_t memory_bytes() const;
 };
 
 enum class FleetKind { kUniformEpochs, kHomogeneous, kRatio };

@@ -22,6 +22,7 @@
 #include "common/json.hpp"
 #include "common/net.hpp"
 #include "common/subprocess.hpp"
+#include "exp/build_cache.hpp"
 
 namespace fedhisyn::exp {
 
@@ -69,6 +70,11 @@ std::string encode_ok_response(const CellResult& cell) {
   const core::ExperimentResult& result = cell.result;
   std::ostringstream out;
   out << "{\"ok\":true,\"seconds\":" << json::fmt_double(cell.seconds)
+      << ",\"cache\":{\"hit\":" << (cell.cache.hit ? "true" : "false")
+      << ",\"hits\":" << cell.cache.hits << ",\"misses\":" << cell.cache.misses
+      << ",\"evictions\":" << cell.cache.evictions
+      << ",\"resident_bytes\":" << cell.cache.resident_bytes
+      << ",\"resident_builds\":" << cell.cache.resident_builds << "}"
       << ",\"algorithm\":\"" << json::escape(result.algorithm) << "\""
       << ",\"final\":" << json::fmt_float(result.final_accuracy)
       << ",\"best\":" << json::fmt_float(result.best_accuracy) << ",\"comm\":";
@@ -125,6 +131,30 @@ Response parse_response(const std::string& line) {
     return *value;
   };
   response.cell.seconds = field("seconds").as_double();
+  // Like `seconds`, the cache block reports worker-side observability the
+  // result sinks exclude — still a required field, so a worker that stops
+  // reporting it is caught immediately rather than silently losing stats.
+  const json::Value& cache = field("cache");
+  FEDHISYN_CHECK_MSG(cache.kind == json::Value::Kind::kObject,
+                     "worker response 'cache' is not an object");
+  const auto cache_field = [&](const char* name) -> const json::Value& {
+    const json::Value* value = cache.find(name);
+    FEDHISYN_CHECK_MSG(value != nullptr,
+                       "worker response cache block lacks '" << name << "'");
+    return *value;
+  };
+  response.cell.cache.valid = true;
+  response.cell.cache.hit = cache_field("hit").as_bool();
+  response.cell.cache.hits =
+      static_cast<std::uint64_t>(cache_field("hits").as_long());
+  response.cell.cache.misses =
+      static_cast<std::uint64_t>(cache_field("misses").as_long());
+  response.cell.cache.evictions =
+      static_cast<std::uint64_t>(cache_field("evictions").as_long());
+  response.cell.cache.resident_bytes =
+      static_cast<std::size_t>(cache_field("resident_bytes").as_long());
+  response.cell.cache.resident_builds =
+      static_cast<std::size_t>(cache_field("resident_builds").as_long());
   core::ExperimentResult& result = response.cell.result;
   result.algorithm = field("algorithm").as_string();
   result.final_accuracy = field("final").as_float();
@@ -217,9 +247,7 @@ void maybe_inject_hang(const std::string& label, int attempt) {
 /// One worker request: decode, run, encode.  Exceptions become ok:false
 /// responses — a deterministic cell failure must travel back to the parent,
 /// not kill the worker (crashes are what kill the worker).
-std::string handle_request(const std::string& line,
-                           std::string* cached_build_key,
-                           std::shared_ptr<const core::BuiltExperiment>* cached_build) {
+std::string handle_request(const std::string& line, BuildCache* cache) {
   try {
     const json::Value doc = json::parse(line);
     const json::Value* spec_value = doc.find("spec");
@@ -231,15 +259,18 @@ std::string handle_request(const std::string& line,
     maybe_inject_crash(spec.label(), attempt);
     maybe_inject_hang(spec.label(), attempt);
 
-    // Single-entry build cache: consecutive cells of one build (the common
-    // spec-order assignment, e.g. Table 1's per-build method runs) reuse it;
-    // a new build key evicts the old one so worker memory stays bounded.
-    const std::string build_key = spec.build_key();
-    if (*cached_build_key != build_key || *cached_build == nullptr) {
-      *cached_build = build_for(spec);
-      *cached_build_key = build_key;
-    }
-    return encode_ok_response(run_cell(spec, **cached_build));
+    bool hit = false;
+    const std::shared_ptr<const core::BuiltExperiment> built = cache->get(spec, &hit);
+    CellResult cell = run_cell(spec, *built);
+    const BuildCache::Stats stats = cache->stats();
+    cell.cache.valid = true;
+    cell.cache.hit = hit;
+    cell.cache.hits = stats.hits;
+    cell.cache.misses = stats.misses;
+    cell.cache.evictions = stats.evictions;
+    cell.cache.resident_bytes = stats.resident_bytes;
+    cell.cache.resident_builds = stats.resident_builds;
+    return encode_ok_response(cell);
   } catch (const std::exception& e) {
     return encode_error_response(e.what());
   }
@@ -250,25 +281,27 @@ void ignore_sigpipe() {
   std::call_once(once, [] { std::signal(SIGPIPE, SIG_IGN); });
 }
 
-/// The worker's single-entry build cache.  For --serve workers it outlives
-/// individual connections: a coordinator that reconnects (or the next sweep)
-/// hits warm builds.
-struct WorkerBuildCache {
-  std::string key;
-  std::shared_ptr<const core::BuiltExperiment> built;
-};
+/// Worker-side cache config: byte budget from FEDHISYN_BUILD_CACHE_MB
+/// (--build-cache-mb sets it before the worker branch runs), per-build
+/// hit/miss/evict log lines on stderr unless FEDHISYN_QUIET suppresses them.
+BuildCache::Config worker_cache_config(const char* tag) {
+  BuildCache::Config config;
+  config.max_bytes = BuildCache::budget_bytes_from_env();
+  if (!quiet_from_env()) config.log_tag = tag;
+  return config;
+}
 
 /// The one request/response loop both worker modes share: greet, then answer
 /// one result line per request line until the peer goes away.  Returns 0 on
 /// clean EOF, 3 when the peer vanished mid-reply.
-int serve_stream(int in_fd, int out_fd, WorkerBuildCache* cache) {
+int serve_stream(int in_fd, int out_fd, BuildCache* cache) {
   if (!net::write_all(out_fd, encode_hello() + "\n")) return 3;
   net::LineReader reader(in_fd);
   std::string line;
   for (;;) {
     if (reader.read_line(&line) != net::LineReader::Status::kLine) return 0;
     if (line.empty()) continue;
-    const std::string response = handle_request(line, &cache->key, &cache->built);
+    const std::string response = handle_request(line, cache);
     if (!net::write_all(out_fd, response + "\n")) return 3;
   }
 }
@@ -372,6 +405,7 @@ std::vector<CellResult> run_dispatch(const DispatchConfig& config,
     std::unique_ptr<WorkerLink> link;
     std::string buf;
     long cell = -1;          // spec index in flight, -1 when idle
+    std::string last_key;    // build_key of the last cell sent (affinity)
     bool ready = false;      // hello received on this link
     bool timed_out = false;  // hard-killed for exceeding a deadline
     bool retired = false;    // no further (re)connects for this slot
@@ -382,12 +416,21 @@ std::vector<CellResult> run_dispatch(const DispatchConfig& config,
   for (std::size_t i = 0; i < n; ++i) pending.push_back(i);
   std::vector<int> attempts(n, 0);
   std::size_t done = 0;
+  // Precomputed once: the affinity pass in the feed loop compares keys per
+  // idle slot per iteration.
+  std::vector<std::string> build_keys;
+  build_keys.reserve(n);
+  for (const ExperimentSpec& spec : specs) build_keys.push_back(spec.build_key());
 
   const auto open_slot = [&](std::size_t s) {
     Slot& slot = slots[s];
     slot.link = config.connect(s);
     slot.buf.clear();
     slot.cell = -1;
+    // A fresh --worker-cell process starts cold; a reconnected --serve
+    // worker may well be warm, but the coordinator cannot know what its
+    // resident cache holds, so affinity restarts from scratch either way.
+    slot.last_key.clear();
     slot.ready = false;
     slot.timed_out = false;
     if (slot.link == nullptr) {
@@ -465,16 +508,31 @@ std::vector<CellResult> run_dispatch(const DispatchConfig& config,
   for (std::size_t s = 0; s < slots.size(); ++s) open_slot(s);
 
   while (done < n) {
-    // Feed idle ready workers in spec order (front of the queue first, so
-    // retries run before new work and build locality survives).
+    // Feed idle ready workers, with a build-affinity pass: a worker whose
+    // last cell was build K takes the earliest pending cell of build K (its
+    // cache holds K resident — a build-interleaved spec order then drains
+    // build by build instead of thrashing rebuilds), falling back to the
+    // queue front (which keeps retries, pushed to the front, running before
+    // new work).  Affinity only reorders *assignment*; results are collected
+    // by spec index, so output bytes cannot change.
     for (std::size_t s = 0; s < slots.size(); ++s) {
       if (pending.empty()) break;
       Slot& slot = slots[s];
       if (slot.link == nullptr || !slot.ready || slot.cell >= 0) continue;
-      const std::size_t i = pending.front();
-      pending.pop_front();
+      auto pick = pending.begin();
+      if (!slot.last_key.empty()) {
+        for (auto it = pending.begin(); it != pending.end(); ++it) {
+          if (build_keys[*it] == slot.last_key) {
+            pick = it;
+            break;
+          }
+        }
+      }
+      const std::size_t i = *pick;
+      pending.erase(pick);
       ++attempts[i];
       slot.cell = static_cast<long>(i);
+      slot.last_key = build_keys[i];
       slot.timed_out = false;
       if (config.cell_timeout_s > 0) {
         slot.deadline = net::Deadline::after(config.cell_timeout_s);
@@ -574,7 +632,7 @@ int worker_cell_main() {
   FEDHISYN_CHECK_MSG(proto_fd >= 0, "worker cannot dup stdout");
   ::dup2(STDERR_FILENO, STDOUT_FILENO);
   ignore_sigpipe();
-  WorkerBuildCache cache;
+  BuildCache cache(worker_cache_config("fedhisyn-worker"));
   return serve_stream(STDIN_FILENO, proto_fd, &cache);
 }
 
@@ -593,15 +651,23 @@ int serve_main(const std::string& bind_spec) {
   ::dup2(STDERR_FILENO, STDOUT_FILENO);
   ignore_sigpipe();
   // The cache outlives connections: the worker is resident, so back-to-back
-  // sweeps (or a coordinator reconnect) reuse warm builds.
-  WorkerBuildCache cache;
+  // sweeps (or a coordinator reconnect) reuse warm builds under the LRU byte
+  // budget.
+  BuildCache cache(worker_cache_config("fedhisyn-serve"));
   for (;;) {
     const int conn = net::tcp_accept(listen_fd);
     if (conn < 0) return 0;
     std::fprintf(stderr, "fedhisyn-serve: coordinator connected\n");
     serve_stream(conn, conn, &cache);
     ::close(conn);
-    std::fprintf(stderr, "fedhisyn-serve: coordinator disconnected\n");
+    const BuildCache::Stats stats = cache.stats();
+    std::fprintf(stderr,
+                 "fedhisyn-serve: coordinator disconnected (cache: %llu hit(s), "
+                 "%llu miss(es), %llu eviction(s); %zu build(s) resident)\n",
+                 static_cast<unsigned long long>(stats.hits),
+                 static_cast<unsigned long long>(stats.misses),
+                 static_cast<unsigned long long>(stats.evictions),
+                 stats.resident_builds);
   }
 }
 

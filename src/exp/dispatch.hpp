@@ -33,7 +33,11 @@
 // Wire protocol (one JSON object per line, floats exact via %.9g/%.17g):
 //   worker -> parent  {"hello":"fedhisyn-worker","proto":1}   (on connect)
 //   parent -> worker  {"attempt":A,"spec":{...}}
-//   worker -> parent  {"ok":true,"seconds":S,"algorithm":"...","final":F,
+//   worker -> parent  {"ok":true,"seconds":S,
+//                      "cache":{"hit":true|false,"hits":H,"misses":M,
+//                               "evictions":E,"resident_bytes":RB,
+//                               "resident_builds":RN},
+//                      "algorithm":"...","final":F,
 //                      "best":B,"comm":C|null,"rounds_to_target":R|null,
 //                      "history":[[round,acc,comm,d2d],...]}
 //   worker -> parent  {"ok":false,"error":"..."}
@@ -41,6 +45,16 @@
 // of feeding specs into the void, and delays dispatch to a freshly
 // (re)connected worker until it is actually serving — a reconnect to a
 // wedged host parks until the host recovers instead of eating retries.
+// The `cache` block is the worker's BuildCache observability (this cell's
+// hit/miss plus the worker-lifetime counters, see exp/build_cache.hpp);
+// like `seconds` it lands in CellResult but never in the result sinks, so
+// output files stay byte-identical warm vs cold.
+//
+// Build affinity: when several cells are pending, the coordinator prefers
+// handing a worker the earliest pending cell whose build_key() matches the
+// worker's previous cell (its cache holds that build resident), falling
+// back to strict spec order.  Assignment order is a scheduling detail;
+// collection stays in spec index order, so output bytes are unaffected.
 #pragma once
 
 #include <cstddef>
@@ -136,8 +150,10 @@ int worker_cell_main();
 /// as "fedhisyn-serve: listening on <host>:<port>", then accept coordinator
 /// connections one at a time, serving each with the same loop as
 /// --worker-cell until the peer disconnects.  The worker is resident: its
-/// single-entry build cache survives across connections, so consecutive
-/// sweeps against the same build skip the rebuild.  Runs until killed.
+/// multi-build LRU cache (exp/build_cache.hpp, budget
+/// FEDHISYN_BUILD_CACHE_MB / --build-cache-mb) survives across connections,
+/// so consecutive sweeps over the same builds skip every rebuild.  Runs
+/// until killed.
 int serve_main(const std::string& bind_spec);
 
 }  // namespace fedhisyn::exp

@@ -45,6 +45,20 @@ std::vector<std::string> split_host_list(const std::string& text) {
 }  // namespace
 
 GridDriverOptions handle_grid_flags(const Flags& flags) {
+  // Cache knobs ride on env vars (like --speculate below) and must be set
+  // before the worker branches: a --serve worker or a self-exec'd
+  // --worker-cell child reads them from its environment, and process workers
+  // inherit the coordinator's.
+  if (flags.get_bool("quiet")) setenv("FEDHISYN_QUIET", "1", /*overwrite=*/1);
+  if (flags.has("build-cache-mb")) {
+    const double mb = flags.get_double("build-cache-mb", -1.0);
+    FEDHISYN_CHECK_MSG(mb >= 0.0,
+                       "--build-cache-mb takes a byte budget in MiB (0 disables "
+                       "build caching), got '"
+                           << flags.get("build-cache-mb", "") << "'");
+    setenv("FEDHISYN_BUILD_CACHE_MB", flags.get("build-cache-mb", "").c_str(),
+           /*overwrite=*/1);
+  }
   if (flags.get_bool("worker-cell")) {
     // Hidden dispatch-worker mode: the process-backend parent self-execs
     // this binary with --worker-cell and speaks the exp/dispatch.hpp

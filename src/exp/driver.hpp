@@ -15,7 +15,16 @@
 //                     spec key) and run only the rest; resumed lines are
 //                     re-emitted verbatim, so the final file is
 //                     byte-identical to an uninterrupted sweep
-//   --quiet           suppress the per-cell progress lines on stderr
+//   --quiet           suppress the per-cell progress lines on stderr, and
+//                     (via FEDHISYN_QUIET, which child workers inherit) the
+//                     dispatch workers' per-build cache log lines
+//   --build-cache-mb M
+//                     byte budget in MiB (fractional ok) of the shared
+//                     BuiltExperiment cache (exp/build_cache.hpp); 0
+//                     disables caching, unset = a default holding the full
+//                     Table-1 sweep (FEDHISYN_BUILD_CACHE_MB, which child
+//                     workers inherit; a remote --serve worker reads its
+//                     *own* flag/env).  Never changes result bytes.
 //   --speculate on|off
 //                     async rounds on the speculative RoundGraph engine (on,
 //                     the default) or the legacy serial drain (off); results
@@ -64,10 +73,12 @@ struct GridDriverOptions {
   bool quiet = false;
 };
 
-/// Apply the flags shared by every grid driver: enter the hidden
-/// --worker-cell mode when requested, resize the global pool for --threads,
-/// resolve --grid-jobs / --dispatch / --resume / --quiet, capture --out, and
-/// handle --list-methods (prints and exits).
+/// Apply the flags shared by every grid driver: export --quiet /
+/// --build-cache-mb to their env vars (before the worker branches, so
+/// workers see them), enter the hidden --worker-cell mode when requested,
+/// resize the global pool for --threads, resolve --grid-jobs / --dispatch /
+/// --resume / --quiet, capture --out, and handle --list-methods (prints and
+/// exits).
 GridDriverOptions handle_grid_flags(const Flags& flags);
 
 /// Run a grid the standard way: honour --resume (scan `options.out` for

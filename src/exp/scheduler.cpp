@@ -2,7 +2,6 @@
 
 #include <atomic>
 #include <chrono>
-#include <map>
 #include <mutex>
 #include <thread>
 
@@ -14,6 +13,7 @@
 #include "common/parallel.hpp"
 #include "common/thread_annotations.hpp"
 #include "core/registry.hpp"
+#include "exp/build_cache.hpp"
 #include "exp/dispatch.hpp"
 
 namespace fedhisyn::exp {
@@ -25,34 +25,19 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-/// Build memo keyed on build_key(): the first cell to need a build performs
-/// it, concurrent cells with the same key wait on its once_flag instead of
-/// rebuilding.
-class BuildCache {
- public:
-  std::shared_ptr<const core::BuiltExperiment> get(const ExperimentSpec& spec) {
-    std::shared_ptr<Entry> entry;
-    {
-      MutexLock lock(mutex_);
-      auto& slot = entries_[spec.build_key()];
-      if (slot == nullptr) slot = std::make_shared<Entry>();
-      entry = slot;
-    }
-    // The build itself runs outside mutex_ (cells with *different* keys must
-    // build concurrently); the entry's once_flag serialises same-key callers.
-    std::call_once(entry->once, [&] { entry->built = build_for(spec); });
-    return entry->built;
-  }
-
- private:
-  struct Entry {
-    std::once_flag once;
-    std::shared_ptr<const core::BuiltExperiment> built;
-  };
-  Mutex mutex_;
-  std::map<std::string, std::shared_ptr<Entry>> entries_
-      FEDHISYN_GUARDED_BY(mutex_);
-};
+/// Copy a cache's counter snapshot (plus this cell's hit/miss) into the
+/// cell's observability block — the same shape the dispatch workers put on
+/// the wire, so thread- and process-backend cells report identically.
+void fill_cache_stats(CellResult& cell, const BuildCache& cache, bool hit) {
+  const BuildCache::Stats stats = cache.stats();
+  cell.cache.valid = true;
+  cell.cache.hit = hit;
+  cell.cache.hits = stats.hits;
+  cell.cache.misses = stats.misses;
+  cell.cache.evictions = stats.evictions;
+  cell.cache.resident_bytes = stats.resident_bytes;
+  cell.cache.resident_builds = stats.resident_builds;
+}
 
 }  // namespace
 
@@ -156,9 +141,11 @@ std::vector<CellResult> GridScheduler::run(
     std::size_t done FEDHISYN_GUARDED_BY(mutex) = 0;
   } progress;
   const auto run_one = [&](std::size_t i) {
+    bool hit = false;
     std::shared_ptr<const core::BuiltExperiment> built =
-        options_.share_builds ? cache.get(specs[i]) : build_for(specs[i]);
+        options_.share_builds ? cache.get(specs[i], &hit) : build_for(specs[i]);
     results[i] = run_cell(specs[i], *built);
+    if (options_.share_builds) fill_cache_stats(results[i], cache, hit);
     if (options_.on_cell) {
       MutexLock lock(progress.mutex);
       options_.on_cell(++progress.done, specs.size(), results[i]);

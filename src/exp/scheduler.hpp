@@ -15,12 +15,15 @@
 // index — so a --grid-jobs N run produces byte-identical output to a serial
 // sweep.
 //
-// Builds are deduped: cells with equal spec.build_key() share one
-// BuiltExperiment (e.g. Table 1 runs 7 methods per build).  All builds stay
-// alive until run() returns.
+// Builds are deduped through the shared exp::BuildCache (build_cache.hpp):
+// cells with equal spec.build_key() share one BuiltExperiment (e.g. Table 1
+// runs 7 methods per build), LRU-evicted under the FEDHISYN_BUILD_CACHE_MB
+// byte budget — the same class the dispatch workers use, so every backend
+// has identical caching semantics.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -30,13 +33,32 @@
 
 namespace fedhisyn::exp {
 
-/// Everything one finished cell produced.  Wall-clock seconds are reported
-/// for humans only — result sinks exclude them so output files stay
-/// byte-stable across thread counts and machines.
+/// Build-cache observability for one cell: whether its build was served
+/// warm, plus a counter snapshot of the cache that served it (cumulative
+/// over the serving worker's lifetime — for a resident --serve worker that
+/// spans connections and sweeps).  Travels on the dispatch wire protocol's
+/// `cache` block; like `seconds`, the JSONL/CSV sinks exclude it, so output
+/// files stay byte-identical warm vs cold and across backends.
+struct CellCacheStats {
+  /// False when no build cache reported for this cell (e.g. a resumed cell).
+  bool valid = false;
+  /// This cell's build was resident — no build ran for it.
+  bool hit = false;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t resident_bytes = 0;
+  std::size_t resident_builds = 0;
+};
+
+/// Everything one finished cell produced.  Wall-clock seconds and the cache
+/// block are reported for humans only — result sinks exclude them so output
+/// files stay byte-stable across thread counts, machines and cache states.
 struct CellResult {
   ExperimentSpec spec;
   core::ExperimentResult result;
   double seconds = 0.0;
+  CellCacheStats cache;
 };
 
 /// Optional extras for single-cell drivers (the CLI, quickstart).
@@ -80,7 +102,9 @@ class GridScheduler {
     /// Thread budget split across the running cells; 0 = the global pool's
     /// current size.
     std::size_t total_threads = 0;
-    /// Share BuiltExperiments between cells with equal build_key().
+    /// Share BuiltExperiments between cells with equal build_key() through a
+    /// BuildCache (budget: FEDHISYN_BUILD_CACHE_MB).  False = every cell
+    /// builds privately, bypassing the cache entirely.
     bool share_builds = true;
     /// Cell execution backend (--dispatch / FEDHISYN_DISPATCH).
     CellBackend backend = CellBackend::kAuto;

@@ -1,0 +1,376 @@
+// Tests for the shared multi-build LRU BuildCache (exp/build_cache.hpp):
+// BuiltExperiment::memory_bytes() sizing, hit/miss counter semantics and
+// pointer sharing, LRU eviction under a byte budget, the disabled (budget 0)
+// mode, same-key build deduplication under concurrency, the
+// FEDHISYN_BUILD_CACHE_MB budget resolution, the coordinator's build-affinity
+// pass (observed end-to-end through the process backend's per-cell cache
+// stats), and a resident --serve worker staying warm across connections.
+//
+// This binary has a custom main like dispatch_test: invoked with
+// --worker-cell or --serve it becomes a dispatch worker (the process/tcp
+// tests self-exec it), otherwise it runs the gtest suites.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/net.hpp"
+#include "common/subprocess.hpp"
+#include "exp/build_cache.hpp"
+#include "exp/dispatch.hpp"
+#include "exp/grid.hpp"
+#include "exp/scheduler.hpp"
+#include "exp/sinks.hpp"
+
+namespace fedhisyn::exp {
+namespace {
+
+/// A grid whose cells run in well under a second: 6 devices, 2 rounds.
+ExperimentGrid tiny_grid() {
+  ExperimentGrid grid;
+  grid.base().with_seed(11);
+  grid.base().build.scale.devices = 6;
+  grid.base().build.scale.train_samples_per_device = 20;
+  grid.base().build.scale.test_samples = 60;
+  grid.base().build.scale.rounds = 2;
+  grid.base().build.mlp_hidden = {8};
+  grid.base().opts.local_epochs = 1;
+  grid.base().opts.batch_size = 10;
+  grid.base().opts.clusters = 2;
+  grid.base().target = 0.999f;
+  return grid;
+}
+
+/// RAII env override (restores the previous value, or unsets).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+/// A resident `--serve` worker: this test binary self-exec'd on an ephemeral
+/// loopback port, endpoint parsed back from its announce line.  Killed (and
+/// reaped) on destruction.
+class ServeWorker {
+ public:
+  explicit ServeWorker(std::vector<std::string> env = {})
+      : proc_(std::vector<std::string>{current_executable_path(), "--serve",
+                                       "127.0.0.1:0"},
+              std::move(env)) {
+    net::LineReader announce(proc_.stdout_fd());
+    std::string line;
+    FEDHISYN_CHECK_MSG(announce.read_line(&line, net::Deadline::after(30.0)) ==
+                           net::LineReader::Status::kLine,
+                       "--serve worker printed no announce line");
+    const std::string prefix = "fedhisyn-serve: listening on ";
+    FEDHISYN_CHECK_MSG(line.rfind(prefix, 0) == 0,
+                       "unexpected announce line: " << line);
+    endpoint_ = line.substr(prefix.size());
+  }
+  ~ServeWorker() {
+    proc_.kill(SIGKILL);
+    proc_.wait();
+  }
+
+  const std::string& endpoint() const { return endpoint_; }
+
+ private:
+  Subprocess proc_;
+  std::string endpoint_;
+};
+
+/// One tiny spec per distinct build: same scale, different build seed (the
+/// seed is part of build_key()), so every build has the same byte footprint.
+ExperimentSpec tiny_spec(std::uint64_t seed, const std::string& method = "FedAvg") {
+  auto grid = tiny_grid();
+  grid.base().with_seed(seed);
+  grid.methods({method});
+  const auto specs = grid.expand();
+  FEDHISYN_CHECK_MSG(specs.size() == 1, "tiny_spec expansion is not a single cell");
+  return specs[0];
+}
+
+// ---------------------------------------------------------- memory_bytes --
+
+TEST(MemoryBytes, CountsTheDominantPayloads) {
+  const auto built = build_for(tiny_spec(11));
+  // The floor every build must clear: its own train/test tensors and labels.
+  const std::size_t tensor_floor =
+      static_cast<std::size_t>(built->fed.train.x.numel()) * sizeof(float) +
+      static_cast<std::size_t>(built->fed.test.x.numel()) * sizeof(float);
+  EXPECT_GT(built->memory_bytes(), tensor_floor);
+  // And it cannot be wildly above the sum of everything it claims to count
+  // (shards and fleet are small at this scale).
+  EXPECT_LT(built->memory_bytes(), 4 * tensor_floor + (1 << 20));
+}
+
+TEST(MemoryBytes, GrowsWithTheTrainingSet) {
+  auto small = tiny_spec(11);
+  auto large = tiny_spec(11);
+  large.build.scale.train_samples_per_device *= 4;
+  EXPECT_GT(build_for(large)->memory_bytes(), build_for(small)->memory_bytes());
+}
+
+// ------------------------------------------------------------ hit / miss --
+
+TEST(BuildCache, MissThenHitSharesOnePointer) {
+  BuildCache cache(BuildCache::Config{BuildCache::default_budget_bytes(), {}});
+  bool hit = true;
+  const auto first = cache.get(tiny_spec(11), &hit);
+  EXPECT_FALSE(hit);
+  const auto second = cache.get(tiny_spec(11), &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(first.get(), second.get());
+
+  const BuildCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.resident_builds, 1u);
+  EXPECT_EQ(stats.resident_bytes, first->memory_bytes());
+}
+
+TEST(BuildCache, DifferentBuildKeysGetDifferentBuilds) {
+  BuildCache cache(BuildCache::Config{BuildCache::default_budget_bytes(), {}});
+  const auto a = cache.get(tiny_spec(11));
+  const auto b = cache.get(tiny_spec(17));
+  EXPECT_NE(a.get(), b.get());
+  // Same build key through different methods still shares one build: the
+  // method is an opts field, not a build field.
+  const auto a_again = cache.get(tiny_spec(11, "FedHiSyn"));
+  EXPECT_EQ(a.get(), a_again.get());
+  EXPECT_EQ(cache.stats().resident_builds, 2u);
+}
+
+// ------------------------------------------------------------------- LRU --
+
+TEST(BuildCache, EvictsLeastRecentlyUsedPastTheByteBudget) {
+  // Same scale, different seeds: every build occupies the same bytes, so a
+  // budget of 2.5 builds holds exactly two.
+  const std::size_t one = build_for(tiny_spec(1))->memory_bytes();
+  BuildCache cache(BuildCache::Config{one * 5 / 2, {}});
+
+  const auto s1 = cache.get(tiny_spec(1));  // resident: {1}
+  cache.get(tiny_spec(2));                  // resident: {1, 2}
+  cache.get(tiny_spec(1));                  // refresh 1's recency
+  cache.get(tiny_spec(3));                  // over budget -> evict 2 (LRU)
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().resident_builds, 2u);
+
+  bool hit = true;
+  cache.get(tiny_spec(2), &hit);  // 2 was evicted: miss, evicts 1 in turn
+  EXPECT_FALSE(hit);
+  cache.get(tiny_spec(3), &hit);  // 3 survived both evictions
+  EXPECT_TRUE(hit);
+
+  const BuildCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 4u);  // 1, 2, 3, then 2 again
+  EXPECT_EQ(stats.hits, 2u);    // the refresh of 1, the final 3
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.resident_builds, 2u);
+  EXPECT_LE(stats.resident_bytes, cache.max_bytes());
+  // Eviction only drops the cache's reference: the evicted build stays
+  // usable through the shared_ptr handed out earlier.
+  EXPECT_GT(s1->fed.train.x.numel(), 0);
+}
+
+// -------------------------------------------------------------- disabled --
+
+TEST(BuildCache, ZeroBudgetDisablesCachingButBuildsIdentically) {
+  BuildCache disabled(BuildCache::Config{0, {}});
+  bool hit = true;
+  const auto first = disabled.get(tiny_spec(11), &hit);
+  EXPECT_FALSE(hit);
+  const auto second = disabled.get(tiny_spec(11), &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_NE(first.get(), second.get());  // nothing was retained
+  EXPECT_EQ(disabled.stats().misses, 2u);
+  EXPECT_EQ(disabled.stats().resident_builds, 0u);
+  EXPECT_EQ(disabled.stats().resident_bytes, 0u);
+
+  // A build is a pure function of the spec: cached or not, the cell's
+  // result bytes are identical.
+  const auto spec = tiny_spec(11);
+  BuildCache cached(BuildCache::Config{BuildCache::default_budget_bytes(), {}});
+  const auto cold = run_cell(spec, *disabled.get(spec));
+  const auto warm = run_cell(spec, *cached.get(spec));
+  EXPECT_EQ(to_jsonl_line(cold), to_jsonl_line(warm));
+}
+
+// ----------------------------------------------------------- concurrency --
+
+TEST(BuildCache, ConcurrentSameKeyCallersShareOneBuild) {
+  BuildCache cache(BuildCache::Config{BuildCache::default_budget_bytes(), {}});
+  constexpr int kThreads = 4;
+  std::vector<std::shared_ptr<const core::BuiltExperiment>> builds(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] { builds[t] = cache.get(tiny_spec(11)); });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(builds[0].get(), builds[t].get());
+  const BuildCache::Stats stats = cache.stats();
+  // Exactly one build ran; a caller that waited on it counts as a hit.
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, static_cast<std::uint64_t>(kThreads - 1));
+  EXPECT_EQ(stats.resident_builds, 1u);
+}
+
+// ------------------------------------------------------------ env budget --
+
+TEST(BuildCache, BudgetResolvesFromEnv) {
+  EXPECT_EQ(BuildCache::budget_bytes_from_env(), BuildCache::default_budget_bytes());
+  {
+    ScopedEnv mb("FEDHISYN_BUILD_CACHE_MB", "1.5");
+    EXPECT_EQ(BuildCache::budget_bytes_from_env(),
+              static_cast<std::size_t>(1.5 * 1024 * 1024));
+  }
+  {
+    ScopedEnv mb("FEDHISYN_BUILD_CACHE_MB", "0");
+    EXPECT_EQ(BuildCache::budget_bytes_from_env(), 0u);  // disabled
+  }
+  {
+    ScopedEnv mb("FEDHISYN_BUILD_CACHE_MB", "garbage");
+    EXPECT_EQ(BuildCache::budget_bytes_from_env(),
+              BuildCache::default_budget_bytes());
+  }
+}
+
+// ------------------------------------------- dispatch: affinity + stats --
+
+TEST(DispatchCache, AffinityDrainsInterleavedBuildsWithoutThrashing) {
+  // Four cells over two builds (A = seed 11, B = seed 17), deliberately
+  // interleaved A,B,A,B, on ONE worker whose budget holds a single build.
+  // The affinity pass must drain them build by build — A,A,B,B — costing 2
+  // misses and 1 eviction; spec-order dispatch would rebuild on every cell
+  // (4 misses, 3 evictions).
+  auto grid_a = tiny_grid();
+  grid_a.methods({"FedAvg", "FedHiSyn"});
+  auto grid_b = tiny_grid();
+  grid_b.base().with_seed(17);
+  grid_b.methods({"FedAvg", "FedHiSyn"});
+  const auto cells_a = grid_a.expand();
+  const auto cells_b = grid_b.expand();
+  ASSERT_EQ(cells_a.size(), 2u);
+  ASSERT_EQ(cells_b.size(), 2u);
+  const std::vector<ExperimentSpec> specs = {cells_a[0], cells_b[0], cells_a[1],
+                                             cells_b[1]};
+
+  GridScheduler::Options serial_options;
+  serial_options.jobs = 1;
+  serial_options.backend = CellBackend::kThread;
+  const auto serial = GridScheduler(serial_options).run(specs);
+
+  // Budget: 1.5 builds — one resident at a time (both builds are the same
+  // size: same scale, different seed).  Workers inherit the env var.
+  const double budget_mb =
+      1.5 * static_cast<double>(build_for(specs[0])->memory_bytes()) /
+      (1024.0 * 1024.0);
+  char budget_text[64];
+  std::snprintf(budget_text, sizeof(budget_text), "%.9g", budget_mb);
+  ScopedEnv budget("FEDHISYN_BUILD_CACHE_MB", budget_text);
+  ScopedEnv quiet("FEDHISYN_QUIET", "1");
+
+  ProcessDispatcher::Options options;
+  options.workers = 1;
+  const auto process = ProcessDispatcher(options).run(specs);
+  ASSERT_EQ(process.size(), 4u);
+
+  // Byte-identity survives affinity reordering and the tiny budget.
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(to_jsonl_line(serial[i]), to_jsonl_line(process[i])) << i;
+  }
+
+  // Per-cell hit flags: the first cell of each build missed, its affinity
+  // partner hit.  (Assignment order was A0, A1, B0, B1; results are indexed
+  // by spec, so the hits land on indices 2 and 3.)
+  for (const auto& cell : process) ASSERT_TRUE(cell.cache.valid);
+  EXPECT_FALSE(process[0].cache.hit);  // A0: cold
+  EXPECT_FALSE(process[1].cache.hit);  // B0: cold (after A was evicted)
+  EXPECT_TRUE(process[2].cache.hit);   // A1: affinity kept A resident
+  EXPECT_TRUE(process[3].cache.hit);   // B1: affinity kept B resident
+
+  // Worker-lifetime counters on the last-finished cell (B1): 2 builds total,
+  // not 4, and exactly one eviction (A, when B displaced it).
+  EXPECT_EQ(process[3].cache.misses, 2u);
+  EXPECT_EQ(process[3].cache.hits, 2u);
+  EXPECT_EQ(process[3].cache.evictions, 1u);
+  EXPECT_EQ(process[3].cache.resident_builds, 1u);
+}
+
+TEST(DispatchCache, ResidentServeWorkerStaysWarmAcrossConnections) {
+  auto grid = tiny_grid();
+  grid.methods({"FedAvg", "FedHiSyn"});
+  const auto specs = grid.expand();
+  ASSERT_EQ(specs.size(), 2u);
+
+  // One resident worker, default budget, two back-to-back sweeps = two
+  // separate coordinator connections against one worker-lifetime cache.
+  ServeWorker worker({"FEDHISYN_QUIET=1"});
+  TcpDispatcher::Options options;
+  options.hosts = {worker.endpoint()};
+
+  const auto first = TcpDispatcher(options).run(specs);
+  ASSERT_EQ(first.size(), 2u);
+  ASSERT_TRUE(first[0].cache.valid);
+  EXPECT_FALSE(first[0].cache.hit);  // the sweep's one build
+  EXPECT_TRUE(first[1].cache.hit);   // same build key, second method
+  EXPECT_EQ(first[1].cache.misses, 1u);
+
+  const auto second = TcpDispatcher(options).run(specs);
+  ASSERT_EQ(second.size(), 2u);
+  EXPECT_TRUE(second[0].cache.hit);  // warm from the previous connection
+  EXPECT_TRUE(second[1].cache.hit);
+  // Counters are worker-lifetime: still the single build, three hits now.
+  EXPECT_EQ(second[1].cache.misses, 1u);
+  EXPECT_EQ(second[1].cache.hits, 3u);
+  EXPECT_EQ(second[1].cache.evictions, 0u);
+
+  // The two sweeps' output bytes are identical — warmth is invisible there.
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(to_jsonl_line(first[i]), to_jsonl_line(second[i])) << i;
+  }
+}
+
+}  // namespace
+}  // namespace fedhisyn::exp
+
+int main(int argc, char** argv) {
+  // ProcessDispatcher self-execs this binary with --worker-cell, and the tcp
+  // tests self-exec it with --serve: become a dispatch worker instead of
+  // running the suites.
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--worker-cell") {
+      return fedhisyn::exp::worker_cell_main();
+    }
+    if (std::string(argv[i]) == "--serve" && i + 1 < argc) {
+      return fedhisyn::exp::serve_main(argv[i + 1]);
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -242,6 +242,48 @@ TEST(Dispatch, ProcessMatchesThreadAndSerialByteIdentical) {
   }
 }
 
+TEST(Dispatch, DisabledBuildCacheIsByteIdenticalToTheDefault) {
+  // Two interleaved builds (seeds 11/17) across four cells: with the cache
+  // disabled every cell rebuilds from scratch, with the default budget the
+  // worker holds both builds warm — the output files must not be able to
+  // tell the difference.
+  auto grid_a = tiny_grid();
+  grid_a.methods({"FedAvg", "FedHiSyn"});
+  auto grid_b = tiny_grid();
+  grid_b.base().with_seed(17);
+  grid_b.methods({"FedAvg", "FedHiSyn"});
+  const auto cells_a = grid_a.expand();
+  const auto cells_b = grid_b.expand();
+  std::vector<ExperimentSpec> specs = {cells_a[0], cells_b[0], cells_a[1],
+                                       cells_b[1]};
+
+  GridScheduler::Options options;
+  options.jobs = 1;
+  options.backend = CellBackend::kProcess;
+
+  std::vector<CellResult> cold;
+  {
+    ScopedEnv disable("FEDHISYN_BUILD_CACHE_MB", "0");
+    cold = GridScheduler(options).run(specs);
+  }
+  const auto warm = GridScheduler(options).run(specs);
+
+  ASSERT_EQ(cold.size(), warm.size());
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    EXPECT_EQ(to_jsonl_line(cold[i]), to_jsonl_line(warm[i])) << i;
+    EXPECT_EQ(to_csv_row(cold[i]), to_csv_row(warm[i])) << i;
+  }
+  // The cache stats confirm the two runs really exercised different paths:
+  // all cold misses vs affinity-served hits.
+  for (const auto& cell : cold) {
+    ASSERT_TRUE(cell.cache.valid);
+    EXPECT_FALSE(cell.cache.hit);
+  }
+  EXPECT_EQ(cold[3].cache.misses, 4u);
+  EXPECT_TRUE(warm[2].cache.hit);
+  EXPECT_TRUE(warm[3].cache.hit);
+}
+
 TEST(Dispatch, CrashedWorkerIsRetriedAndTheSweepSurvives) {
   auto grid = tiny_grid();
   grid.methods({"FedHiSyn", "FedAvg", "FedAT"});

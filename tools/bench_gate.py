@@ -9,8 +9,14 @@ Works with any fedhisyn bench JSON: a document carrying a "schema" string
 (matched between current and baseline) and a list of named entries under
 "shapes" or "entries".  Gated today:
 
-  BENCH_gemm.json    (bench_gemm_sweep)       --metric speedup_st
-  BENCH_rounds.json  (bench_round_throughput) --metric speedup_model
+  BENCH_gemm.json     (bench_gemm_sweep)        --metric speedup_st
+  BENCH_rounds.json   (bench_round_throughput)  --metric speedup_model
+  BENCH_dispatch.json (bench_dispatch_overhead) --metric cells_per_sec,
+                                                then cells_per_sec_warm
+
+Baseline entries that lack the requested metric are skipped with a note (one
+baseline file may mix entries gated by different metrics, like the dispatch
+baseline above); it is an error only when *no* entry carries the metric.
 
 Gate metrics are same-run ratios (blocked-vs-reference kernel speedup;
 task-graph overlap factor), so they transfer across runner hardware where
@@ -81,13 +87,19 @@ def main():
     _, current = load(args.current, expect_schema=schema)
 
     failures = []
+    gated = 0
     print(f"{'entry':<16} {'baseline':>9} {'floor':>9} {'current':>9}  verdict")
     for name, base_entry in baseline.items():
         base = base_entry.get(args.metric)
         if base is None:
-            print(f"bench_gate: baseline entry {name} lacks {args.metric}",
-                  file=sys.stderr)
-            sys.exit(2)
+            # One baseline file may hold heterogeneous entries (e.g. the
+            # dispatch baseline gates cells_per_sec on the backend entries and
+            # cells_per_sec_warm on the cache entry): entries without this
+            # metric belong to another gate invocation, not to an error.
+            print(f"{name:<16} {'-':>9} {'-':>9} {'-':>9}  "
+                  f"skipped (no {args.metric})")
+            continue
+        gated += 1
         floor = base * (1.0 - args.tolerance)
         cur_entry = current.get(name)
         if cur_entry is None or args.metric not in cur_entry:
@@ -106,12 +118,17 @@ def main():
                   f"{current[name].get(args.metric, float('nan')):>9.3f}  "
                   "new (not gated; refresh baseline to cover it)")
 
+    if gated == 0:
+        print(f"bench_gate: no baseline entry carries {args.metric} — nothing "
+              "would be gated (wrong --metric or wrong baseline?)",
+              file=sys.stderr)
+        sys.exit(2)
     if failures:
         print(f"\nbench_gate: {len(failures)} entr(y/ies) regressed more than "
               f"{args.tolerance:.0%} on {args.metric}: {', '.join(failures)}",
               file=sys.stderr)
         return 1
-    print(f"\nbench_gate: all {len(baseline)} gated entries within "
+    print(f"\nbench_gate: all {gated} gated entries within "
           f"{args.tolerance:.0%} of baseline on {args.metric}")
     return 0
 
