@@ -13,20 +13,38 @@
 // are informational (pool size = --threads / FEDHISYN_THREADS).
 //
 //   ./bench_gemm_sweep --out BENCH_gemm.json [--min-time-ms 200] [--threads N]
+//                      [--shapes name,...] [--kernel VARIANT[:MRxNR]]
+//                      [--list-kernels] [--tune FILE [--tune-min-time-ms MS]]
+//
+// Kernel modes: by default every shape is timed under the auto-selected
+// kernel (the plain entry, gated against bench/baselines/BENCH_gemm.json)
+// *and* once per supported ISA variant (entries named "<shape>@<variant>";
+// the @generic rows join the main baseline, the @avx2 rows are gated by
+// bench/baselines/BENCH_gemm_isa.json on hosts that have AVX2).  --kernel
+// forces one variant for the plain entries instead and skips the per-variant
+// sweep; an unsupported variant exits with status 3 so CI can skip
+// gracefully.  --list-kernels prints the supported variant names and exits.
+//
+// --tune runs the one-shot autotuner (tensor/gemm_tune.hpp) over the
+// selected shapes for the selected variant and writes the tuning cache to
+// FILE — load it via FEDHISYN_GEMM_TUNE_CACHE / --gemm-tune-cache.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "gemm_shapes.hpp"
 #include "tensor/gemm.hpp"
+#include "tensor/gemm_tune.hpp"
 
 namespace {
 
@@ -156,12 +174,52 @@ const char* variant_name(Variant v) {
   return "?";
 }
 
+gemmk::GemmOp to_gemm_op(Variant v) {
+  switch (v) {
+    case Variant::kNN: return gemmk::GemmOp::kNN;
+    case Variant::kNT: return gemmk::GemmOp::kNT;
+    case Variant::kTN: return gemmk::GemmOp::kTN;
+  }
+  return gemmk::GemmOp::kNN;
+}
+
+/// Point FEDHISYN_GEMM_KERNEL at `spec` (nullptr = unset) and re-resolve the
+/// runtime selection — the documented test/bench reinit hook.
+void force_kernel(const char* spec) {
+  if (spec == nullptr) {
+    unsetenv("FEDHISYN_GEMM_KERNEL");
+  } else {
+    setenv("FEDHISYN_GEMM_KERNEL", spec, /*overwrite=*/1);
+  }
+  gemm_runtime_reinit();
+}
+
+/// "avx512" or "avx2:6x16": the resolved selection, for the "kernel" field.
+std::string kernel_desc() {
+  const GemmRuntimeInfo& info = gemm_runtime_info();
+  std::string desc = info.variant;
+  if (!info.forced_kernel.empty()) desc += ":" + info.forced_kernel;
+  return desc;
+}
+
+bool variant_supported(const std::string& name) {
+  for (const std::string& supported : gemm_supported_variants()) {
+    if (supported == name) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_gemm.json";
   double min_time_ms = 200.0;
   std::size_t threads = ParallelExecutor::threads_from_env();
+  std::string shapes_filter;
+  std::string kernel_spec;
+  std::string tune_path;
+  double tune_min_time_ms = 50.0;
+  bool list_kernels = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
@@ -177,13 +235,118 @@ int main(int argc, char** argv) {
       min_time_ms = std::atof(next());
     } else if (arg == "--threads") {
       threads = static_cast<std::size_t>(std::atol(next()));
+    } else if (arg == "--shapes") {
+      shapes_filter = next();
+    } else if (arg == "--kernel") {
+      kernel_spec = next();
+    } else if (arg == "--tune") {
+      tune_path = next();
+    } else if (arg == "--tune-min-time-ms") {
+      tune_min_time_ms = std::atof(next());
+    } else if (arg == "--list-kernels") {
+      list_kernels = true;
     } else {
       std::cerr << "usage: bench_gemm_sweep [--out FILE] [--min-time-ms MS] "
-                   "[--threads N]\n";
+                   "[--threads N] [--shapes name,...] "
+                   "[--kernel VARIANT[:MRxNR]] [--list-kernels] "
+                   "[--tune FILE [--tune-min-time-ms MS]]\n";
       return arg == "--help" ? 0 : 2;
     }
   }
   if (threads < 1) threads = 1;
+
+  if (list_kernels) {
+    for (const std::string& name : gemm_supported_variants()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+
+  // --shapes: restrict the sweep, keeping the table's order.
+  std::vector<const GemmShape*> selected;
+  if (shapes_filter.empty()) {
+    for (const GemmShape& s : kShapes) selected.push_back(&s);
+  } else {
+    std::string item;
+    std::vector<std::string> names;
+    for (const char c : shapes_filter + ",") {
+      if (c == ',') {
+        if (!item.empty()) names.push_back(item);
+        item.clear();
+      } else {
+        item.push_back(c);
+      }
+    }
+    for (const GemmShape& s : kShapes) {
+      if (std::find(names.begin(), names.end(), s.name) != names.end()) {
+        selected.push_back(&s);
+      }
+    }
+    if (selected.size() != names.size()) {
+      std::cerr << "--shapes: unknown shape name in '" << shapes_filter
+                << "' (known:";
+      for (const GemmShape& s : kShapes) std::cerr << " " << s.name;
+      std::cerr << ")\n";
+      return 2;
+    }
+  }
+
+  // --kernel: force one variant for the whole sweep.  Unsupported variants
+  // exit 3 (distinct from usage errors) so CI matrix steps can skip; a bad
+  // kernel label inside a supported variant is the same kind of miss.
+  if (!kernel_spec.empty()) {
+    const std::string variant = kernel_spec.substr(0, kernel_spec.find(':'));
+    if (variant != "auto" && !variant_supported(variant)) {
+      std::cerr << "bench_gemm_sweep: kernel variant '" << variant
+                << "' is not supported on this CPU — skipping\n";
+      return 3;
+    }
+    try {
+      force_kernel(kernel_spec.c_str());
+    } catch (const CheckError& err) {
+      std::cerr << "bench_gemm_sweep: " << err.what() << "\n";
+      return 3;
+    }
+  }
+
+  // --tune: run the autotuner over the selected shapes and exit.
+  if (!tune_path.empty()) {
+    std::vector<GemmTuneShape> tune_shapes;
+    for (const GemmShape* s : selected) {
+      tune_shapes.push_back({to_gemm_op(s->variant), s->m, s->k, s->n});
+    }
+    const std::string variant = gemm_runtime_info().variant;
+    const GemmTuning tuning =
+        autotune_gemm(tune_shapes, variant, tune_min_time_ms);
+    save_gemm_tuning(tuning, tune_path);
+    for (const GemmTuneEntry& entry : tuning.entries) {
+      std::fprintf(stderr, "tune %-10s %s  kernel %-6s nc %5lld rows %3lld\n",
+                   variant.c_str(), entry.shape_class.c_str(),
+                   entry.kernel.c_str(), static_cast<long long>(entry.nc),
+                   static_cast<long long>(entry.rows));
+    }
+    std::cout << tune_path << std::endl;
+    return 0;
+  }
+
+  // Timing modes per shape: the current selection (plain entry, gated), and
+  // — unless --kernel pinned one — every supported variant as "@variant"
+  // entries (single-thread only; the ref timing is shared).
+  struct Mode {
+    std::string suffix;       // "" or "@avx2"
+    std::string kernel_env;   // "" = the sweep's default selection
+  };
+  std::vector<Mode> modes;
+  modes.push_back({"", ""});
+  if (kernel_spec.empty()) {
+    for (const std::string& name : gemm_supported_variants()) {
+      modes.push_back({"@" + name, name});
+    }
+  }
+  const char* original_env = std::getenv("FEDHISYN_GEMM_KERNEL");
+  const std::string original_spec = original_env != nullptr ? original_env : "";
+  const bool original_set = original_env != nullptr || !kernel_spec.empty();
+  const std::string default_spec = kernel_spec.empty() ? original_spec : kernel_spec;
 
   ParallelExecutor pool_st(1);
   ParallelExecutor pool_mt(threads);
@@ -195,47 +358,86 @@ int main(int argc, char** argv) {
   json += "  \"shapes\": [\n";
 
   bool first = true;
-  for (const GemmShape& s : kShapes) {
+  for (const GemmShape* shape : selected) {
+    const GemmShape& s = *shape;
     Operands ops = make_operands(s);
     const double flops = 2.0 * static_cast<double>(s.m) *
                          static_cast<double>(s.k) * static_cast<double>(s.n);
 
     const double ref_st_ms =
         time_best_ms(min_time_ms, [&] { run_reference(s, ops); });
-    double blk_st_ms = 0.0;
-    {
-      ParallelExecutor::Bind bind(pool_st);
-      blk_st_ms = time_best_ms(min_time_ms, [&] { run_blocked(s, ops); });
-    }
-    double blk_mt_ms = 0.0;
-    {
-      ParallelExecutor::Bind bind(pool_mt);
-      blk_mt_ms = time_best_ms(min_time_ms, [&] { run_blocked(s, ops); });
-    }
 
-    const double speedup_st = ref_st_ms / blk_st_ms;
-    const double scaling = blk_st_ms / blk_mt_ms;
-    char line[512];
-    std::snprintf(
-        line, sizeof(line),
-        "    {\"name\": \"%s\", \"variant\": \"%s\", \"m\": %lld, \"k\": %lld, "
-        "\"n\": %lld, \"ref_st_ms\": %.4f, \"blk_st_ms\": %.4f, "
-        "\"blk_mt_ms\": %.4f, \"blk_st_gflops\": %.2f, \"blk_mt_gflops\": %.2f, "
-        "\"speedup_st\": %.3f, \"parallel_scaling\": %.3f}",
-        s.name, variant_name(s.variant), static_cast<long long>(s.m),
-        static_cast<long long>(s.k), static_cast<long long>(s.n), ref_st_ms,
-        blk_st_ms, blk_mt_ms, flops / (blk_st_ms * 1e6),
-        flops / (blk_mt_ms * 1e6), speedup_st, scaling);
-    if (!first) json += ",\n";
-    first = false;
-    json += line;
-    std::fprintf(stderr, "%-14s %4lldx%4lldx%4lld  ref %8.3f ms  blocked %8.3f ms  "
-                 "speedup %5.2fx  mt(%zu) %8.3f ms\n",
-                 s.name, static_cast<long long>(s.m), static_cast<long long>(s.k),
-                 static_cast<long long>(s.n), ref_st_ms, blk_st_ms, speedup_st,
-                 threads, blk_mt_ms);
+    for (const Mode& mode : modes) {
+      if (mode.kernel_env.empty()) {
+        force_kernel(original_set ? default_spec.c_str() : nullptr);
+      } else {
+        force_kernel(mode.kernel_env.c_str());
+      }
+      const std::string kernel = kernel_desc();
+
+      double blk_st_ms = 0.0;
+      {
+        ParallelExecutor::Bind bind(pool_st);
+        blk_st_ms = time_best_ms(min_time_ms, [&] { run_blocked(s, ops); });
+      }
+      const double speedup_st = ref_st_ms / blk_st_ms;
+      char line[512];
+      if (mode.suffix.empty()) {
+        double blk_mt_ms = 0.0;
+        {
+          ParallelExecutor::Bind bind(pool_mt);
+          blk_mt_ms = time_best_ms(min_time_ms, [&] { run_blocked(s, ops); });
+        }
+        const double scaling = blk_st_ms / blk_mt_ms;
+        std::snprintf(
+            line, sizeof(line),
+            "    {\"name\": \"%s\", \"variant\": \"%s\", \"m\": %lld, "
+            "\"k\": %lld, \"n\": %lld, \"kernel\": \"%s\", "
+            "\"ref_st_ms\": %.4f, \"blk_st_ms\": %.4f, \"blk_mt_ms\": %.4f, "
+            "\"blk_st_gflops\": %.2f, \"blk_mt_gflops\": %.2f, "
+            "\"speedup_st\": %.3f, \"parallel_scaling\": %.3f}",
+            s.name, variant_name(s.variant), static_cast<long long>(s.m),
+            static_cast<long long>(s.k), static_cast<long long>(s.n),
+            kernel.c_str(), ref_st_ms, blk_st_ms, blk_mt_ms,
+            flops / (blk_st_ms * 1e6), flops / (blk_mt_ms * 1e6), speedup_st,
+            scaling);
+        std::fprintf(stderr,
+                     "%-14s %4lldx%4lldx%4lld  %-8s ref %8.3f ms  blocked "
+                     "%8.3f ms  speedup %5.2fx  mt(%zu) %8.3f ms\n",
+                     s.name, static_cast<long long>(s.m),
+                     static_cast<long long>(s.k), static_cast<long long>(s.n),
+                     kernel.c_str(), ref_st_ms, blk_st_ms, speedup_st, threads,
+                     blk_mt_ms);
+      } else {
+        std::snprintf(
+            line, sizeof(line),
+            "    {\"name\": \"%s%s\", \"variant\": \"%s\", \"m\": %lld, "
+            "\"k\": %lld, \"n\": %lld, \"kernel\": \"%s\", "
+            "\"ref_st_ms\": %.4f, \"blk_st_ms\": %.4f, "
+            "\"blk_st_gflops\": %.2f, \"speedup_st\": %.3f}",
+            s.name, mode.suffix.c_str(), variant_name(s.variant),
+            static_cast<long long>(s.m), static_cast<long long>(s.k),
+            static_cast<long long>(s.n), kernel.c_str(), ref_st_ms, blk_st_ms,
+            flops / (blk_st_ms * 1e6), speedup_st);
+        std::fprintf(stderr,
+                     "%-14s %4lldx%4lldx%4lld  %-8s ref %8.3f ms  blocked "
+                     "%8.3f ms  speedup %5.2fx\n",
+                     (s.name + mode.suffix).c_str(),
+                     static_cast<long long>(s.m), static_cast<long long>(s.k),
+                     static_cast<long long>(s.n), kernel.c_str(), ref_st_ms,
+                     blk_st_ms, speedup_st);
+      }
+      if (!first) json += ",\n";
+      first = false;
+      json += line;
+    }
   }
   json += "\n  ]\n}\n";
+
+  // Leave the selection the way the process started.
+  force_kernel(original_set ? (kernel_spec.empty() ? original_spec.c_str()
+                                                   : kernel_spec.c_str())
+                            : nullptr);
 
   std::ofstream out(out_path);
   if (!out) {

@@ -58,4 +58,15 @@ GemmTune gemm_tune_from_env() {
   return tune;
 }
 
+std::string gemm_kernel_from_env() {
+  const char* value = std::getenv("FEDHISYN_GEMM_KERNEL");
+  if (value == nullptr || value[0] == '\0') return "auto";
+  return value;
+}
+
+std::string gemm_tune_cache_from_env() {
+  const char* value = std::getenv("FEDHISYN_GEMM_TUNE_CACHE");
+  return value == nullptr ? std::string() : std::string(value);
+}
+
 }  // namespace fedhisyn

@@ -31,10 +31,25 @@
 //                            worker that exceeds it is killed (process) or
 //                            disconnected (tcp) and the cell retried under
 //                            the same accounting as a crash.
+//   FEDHISYN_GEMM_KERNEL=auto|generic|avx2|avx512|neon[:MRxNR]
+//                            GEMM micro-kernel variant (tensor/gemm_tune.hpp).
+//                            "auto" (the default) picks the best ISA the CPU
+//                            reports; a named variant forces it (failing
+//                            loudly when unsupported) and an optional :MRxNR
+//                            suffix pins the register-tile shape.  Every
+//                            variant produces bit-identical results.
+//   FEDHISYN_GEMM_TUNE_CACHE=FILE
+//                            tuning cache written by the GEMM autotuner
+//                            (bench_gemm_sweep --tune): per-shape-class
+//                            kernel shapes and tile-grid sizes that replace
+//                            the built-in defaults.  A cache recorded for a
+//                            different variant is ignored with a warning;
+//                            tunings change scheduling only, never bytes.
 //   FEDHISYN_GEMM_TUNE=NC[xROWS]
 //                            blocked-GEMM tile sizes (see tensor/gemm.cpp):
 //                            NC = column-panel width, ROWS = rows per parallel
-//                            task.  Tuning changes scheduling and pack-buffer
+//                            task, overriding defaults and tuning cache alike.
+//                            Tuning changes scheduling and pack-buffer
 //                            shapes only, never the per-element reduction
 //                            order, so results stay bit-identical.
 //   FEDHISYN_BUILD_CACHE_MB=M
@@ -82,5 +97,13 @@ struct GemmTune {
 /// Parse FEDHISYN_GEMM_TUNE ("NC" or "NCxROWS", e.g. "256x8").  Unset or
 /// malformed fields come back as 0 (kernel default).
 GemmTune gemm_tune_from_env();
+
+/// FEDHISYN_GEMM_KERNEL: the requested GEMM kernel variant spec ("auto" when
+/// unset; see tensor/gemm_tune.hpp for the grammar).
+std::string gemm_kernel_from_env();
+
+/// FEDHISYN_GEMM_TUNE_CACHE: path of the autotuner-written tuning cache
+/// (empty when unset — built-in defaults apply).
+std::string gemm_tune_cache_from_env();
 
 }  // namespace fedhisyn

@@ -11,6 +11,7 @@
 #include "exp/dispatch.hpp"
 #include "exp/scheduler.hpp"
 #include "exp/sinks.hpp"
+#include "tensor/gemm_tune.hpp"
 
 namespace fedhisyn::exp {
 
@@ -59,6 +60,20 @@ GridDriverOptions handle_grid_flags(const Flags& flags) {
     setenv("FEDHISYN_BUILD_CACHE_MB", flags.get("build-cache-mb", "").c_str(),
            /*overwrite=*/1);
   }
+  if (flags.has("gemm-kernel")) {
+    setenv("FEDHISYN_GEMM_KERNEL", flags.get("gemm-kernel", "auto").c_str(),
+           /*overwrite=*/1);
+  }
+  if (flags.has("gemm-tune-cache")) {
+    setenv("FEDHISYN_GEMM_TUNE_CACHE", flags.get("gemm-tune-cache", "").c_str(),
+           /*overwrite=*/1);
+  }
+  if (flags.has("gemm-kernel") || flags.has("gemm-tune-cache")) {
+    // Validate immediately: a bad variant name or a malformed cache should
+    // stop the sweep here, not mid-grid inside the first gemm call.  Workers
+    // inherit the env vars set above and resolve independently.
+    gemm_runtime_reinit();
+  }
   if (flags.get_bool("worker-cell")) {
     // Hidden dispatch-worker mode: the process-backend parent self-execs
     // this binary with --worker-cell and speaks the exp/dispatch.hpp
@@ -75,6 +90,10 @@ GridDriverOptions handle_grid_flags(const Flags& flags) {
       std::printf("%-10s %s\n", method.c_str(),
                   core::method_description(method).c_str());
     }
+    std::exit(0);
+  }
+  if (flags.get_bool("gemm-info")) {
+    std::printf("%s", gemm_info_string().c_str());
     std::exit(0);
   }
   if (flags.has("threads")) {

@@ -25,12 +25,24 @@
 //                     Table-1 sweep (FEDHISYN_BUILD_CACHE_MB, which child
 //                     workers inherit; a remote --serve worker reads its
 //                     *own* flag/env).  Never changes result bytes.
+//   --gemm-kernel K   GEMM micro-kernel variant: auto (CPUID dispatch, the
+//                     default) | generic | avx2 | avx512 | neon, optionally
+//                     variant:MRxNR (FEDHISYN_GEMM_KERNEL, which child
+//                     workers inherit).  Bit-identical results either way;
+//                     an unsupported forced variant fails at startup
+//   --gemm-tune-cache FILE
+//                     autotuner-written GEMM tuning cache (bench_gemm_sweep
+//                     --tune; FEDHISYN_GEMM_TUNE_CACHE, which child workers
+//                     inherit).  Scheduling only — never changes result bytes
 //   --speculate on|off
 //                     async rounds on the speculative RoundGraph engine (on,
 //                     the default) or the legacy serial drain (off); results
 //                     are byte-identical (FEDHISYN_SPECULATE fallback)
 //   --list-methods    print the registered algorithms (one description line
 //                     each) and exit
+//   --gemm-info       print the resolved GEMM dispatch state (selected
+//                     variant, forced kernel, tuning cache, per-class
+//                     configurations) and exit
 //   --worker-cell     hidden: become a dispatch worker (stdin/stdout
 //                     protocol, see exp/dispatch.hpp); used by
 //                     --dispatch=process to self-exec this binary
@@ -74,11 +86,12 @@ struct GridDriverOptions {
 };
 
 /// Apply the flags shared by every grid driver: export --quiet /
-/// --build-cache-mb to their env vars (before the worker branches, so
-/// workers see them), enter the hidden --worker-cell mode when requested,
-/// resize the global pool for --threads, resolve --grid-jobs / --dispatch /
-/// --resume / --quiet, capture --out, and handle --list-methods (prints and
-/// exits).
+/// --build-cache-mb / --gemm-kernel / --gemm-tune-cache to their env vars
+/// (before the worker branches, so workers see them; the gemm flags are
+/// validated immediately), enter the hidden --worker-cell mode when
+/// requested, resize the global pool for --threads, resolve --grid-jobs /
+/// --dispatch / --resume / --quiet, capture --out, and handle
+/// --list-methods / --gemm-info (print and exit).
 GridDriverOptions handle_grid_flags(const Flags& flags);
 
 /// Run a grid the standard way: honour --resume (scan `options.out` for

@@ -1,52 +1,48 @@
-// Blocked, packed GEMM kernel family (BLIS/GotoBLAS-style, sized for this
-// simulator).  One driver serves all three variants:
+// Blocked, packed GEMM driver (BLIS/GotoBLAS-style, sized for this
+// simulator).  One driver serves all three operand layouts and every
+// micro-kernel variant (gemm_kernels_*.cpp, selected at runtime by
+// tensor/gemm_tune.cpp):
 //
 //   * C is tiled over (task_rows x NC) tasks: row strips crossed with column
 //     panels.  The 2-D grid is what the pool parallelises over, so wide-N
 //     conv (im2col) shapes scale past `m` threads.
 //   * The B column panel is packed once per (thread, panel) into a
 //     contiguous, zero-padded, 64-byte-aligned ScratchArena buffer laid out
-//     in kNR-wide sub-panels; A is packed per kMR-row strip.  Packing
+//     in NR-wide sub-panels; A is packed per MR-row strip.  Packing
 //     normalises all three memory layouts (NN / NT / TN) into the same
-//     micro-kernel operands.
-//   * The register micro-kernel accumulates a kMR x kNR tile over the *full*
-//     k extent.  k is never split and every C element sees its k terms in
-//     ascending order, so results are bit-identical for any thread count,
-//     any tiling (FEDHISYN_GEMM_TUNE), and either dispatch path — the
-//     determinism contract of common/parallel.hpp.
+//     micro-kernel operands; MR/NR come from the selected kernel.
+//   * Every register tile stages through a 64-byte-aligned MR x NR
+//     accumulator: the driver beta-initialises it (per-op semantics below),
+//     the selected k-loop accumulates the *full* k extent, and the valid
+//     corner is stored back.  k is never split and every C element sees its
+//     k terms in ascending order, so results are bit-identical for any
+//     thread count, any tiling, any kernel variant (FEDHISYN_GEMM_KERNEL /
+//     FEDHISYN_GEMM_TUNE_CACHE) and either dispatch path — the determinism
+//     contract of common/parallel.hpp and gemm_kernel.hpp.
 //
 // Historical bit-compatibility: gemm/gemm_tn beta-initialise the accumulator
 // and add the k terms on top (the old memory-accumulation order); gemm_nt
 // accumulates the dot product from zero and adds beta*C at store (the old
 // register order).  The old `a == 0` skip is gone: it made timing
-// data-dependent (ReLU activations are full of exact zeros) and broke FMA
+// data-dependent (ReLU activations are full of exact zeros) and broke FP
 // contraction uniformity between the skip and non-skip paths.
 #include "tensor/gemm.hpp"
 
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
-#include <cstring>
 
 #include "common/check.hpp"
-#include "common/env.hpp"
 #include "common/parallel.hpp"
+#include "tensor/gemm_kernel.hpp"
+#include "tensor/gemm_tune.hpp"
 
 namespace fedhisyn {
 
 namespace {
 
-// Register micro-tile.  kMR * kNR accumulators fit the SSE register file
-// (8 of 16 xmm registers) and autovectorise over the kNR axis.
-constexpr std::int64_t kMR = 4;
-constexpr std::int64_t kNR = 8;
-
-// Default tile-grid parameters; override with FEDHISYN_GEMM_TUNE=NC[xROWS].
-// NC bounds the packed B panel (k * NC floats); task_rows is the parallel
-// task granularity along m (a multiple of kMR keeps edge handling off the
-// steady state).
-constexpr std::int64_t kDefaultNC = 512;
-constexpr std::int64_t kDefaultTaskRows = 8;
+using gemmk::GemmOp;
+using gemmk::detail::ResolvedGemm;
 
 // Below this many multiply-accumulates the pack/tile machinery costs more
 // than it saves; use the simple row kernel (same reduction order, so the two
@@ -58,270 +54,112 @@ constexpr std::int64_t kBlockedFlopThreshold = std::int64_t{1} << 15;
 constexpr std::int64_t kParallelRowThreshold = 16;
 constexpr std::int64_t kParallelFlopThreshold = std::int64_t{1} << 17;
 
-enum class Variant { kNN, kNT, kTN };
-
-struct Tiling {
-  std::int64_t nc;
-  std::int64_t task_rows;
-};
-
-Tiling tiling() {
-  // Read the env knob once: tuning is a process-level decision and the
-  // kernel is called at high frequency for tiny matrices.
-  static const Tiling cached = [] {
-    const GemmTune tune = gemm_tune_from_env();
-    Tiling t{kDefaultNC, kDefaultTaskRows};
-    if (tune.nc > 0) t.nc = ((tune.nc + kNR - 1) / kNR) * kNR;
-    if (tune.rows > 0) t.task_rows = ((tune.rows + kMR - 1) / kMR) * kMR;
-    return t;
-  }();
-  return cached;
-}
-
-// Pack the kMR-row strip of op(A) starting at row i0 into ap (k x kMR,
-// zero-padded rows past m): ap[p*kMR + ii] = op(A)(i0+ii, p).
-template <Variant V>
+// Pack the mr-row strip of op(A) starting at row i0 into ap (k x mr,
+// zero-padded rows past m): ap[p*mr + ii] = op(A)(i0+ii, p).
+template <GemmOp V>
 void pack_a_strip(const float* a, std::int64_t m, std::int64_t k, std::int64_t i0,
-                  float* ap) {
-  const std::int64_t rows = std::min(kMR, m - i0);
-  if constexpr (V == Variant::kTN) {
+                  std::int64_t mr, float* ap) {
+  const std::int64_t rows = std::min(mr, m - i0);
+  if constexpr (V == GemmOp::kTN) {
     // A is (k x m) row-major, so op(A)(i, p) = a[p*m + i]: contiguous in i.
     for (std::int64_t p = 0; p < k; ++p) {
       const float* src = a + p * m + i0;
-      float* out = ap + p * kMR;
+      float* out = ap + p * mr;
       for (std::int64_t ii = 0; ii < rows; ++ii) out[ii] = src[ii];
-      for (std::int64_t ii = rows; ii < kMR; ++ii) out[ii] = 0.0f;
+      for (std::int64_t ii = rows; ii < mr; ++ii) out[ii] = 0.0f;
     }
   } else {
     // A is (m x k) row-major: read each row contiguously, scatter into the
     // strip (the strip is cache-resident, the source may not be).
     for (std::int64_t ii = 0; ii < rows; ++ii) {
       const float* src = a + (i0 + ii) * k;
-      for (std::int64_t p = 0; p < k; ++p) ap[p * kMR + ii] = src[p];
+      for (std::int64_t p = 0; p < k; ++p) ap[p * mr + ii] = src[p];
     }
-    for (std::int64_t ii = rows; ii < kMR; ++ii) {
-      for (std::int64_t p = 0; p < k; ++p) ap[p * kMR + ii] = 0.0f;
+    for (std::int64_t ii = rows; ii < mr; ++ii) {
+      for (std::int64_t p = 0; p < k; ++p) ap[p * mr + ii] = 0.0f;
     }
   }
 }
 
-// Pack the column panel [jc, jc+nc) of op(B) into bp as kNR-wide sub-panels:
-// bp[(jr/kNR)*(k*kNR) + p*kNR + jj] = op(B)(p, jc+jr+jj), zero-padded past n.
-template <Variant V>
+// Pack the column panel [jc, jc+nc) of op(B) into bp as nr-wide sub-panels:
+// bp[(jr/nr)*(k*nr) + p*nr + jj] = op(B)(p, jc+jr+jj), zero-padded past n.
+template <GemmOp V>
 void pack_b_panel(const float* b, std::int64_t k, std::int64_t n, std::int64_t jc,
-                  std::int64_t nc, float* bp) {
-  (void)n;
-  for (std::int64_t jr = 0; jr < nc; jr += kNR) {
-    const std::int64_t width = std::min(kNR, nc - jr);
-    float* panel = bp + (jr / kNR) * (k * kNR);
+                  std::int64_t nc, std::int64_t nr, float* bp) {
+  for (std::int64_t jr = 0; jr < nc; jr += nr) {
+    const std::int64_t width = std::min(nr, nc - jr);
+    float* panel = bp + (jr / nr) * (k * nr);
     const std::int64_t j0 = jc + jr;
-    if constexpr (V == Variant::kNT) {
+    if constexpr (V == GemmOp::kNT) {
       // B is (n x k) row-major and op(B) = B^T: read B's rows contiguously,
       // scatter into the panel (resident), instead of striding k per element.
       for (std::int64_t jj = 0; jj < width; ++jj) {
         const float* src = b + (j0 + jj) * k;
-        for (std::int64_t p = 0; p < k; ++p) panel[p * kNR + jj] = src[p];
+        for (std::int64_t p = 0; p < k; ++p) panel[p * nr + jj] = src[p];
       }
-      for (std::int64_t jj = width; jj < kNR; ++jj) {
-        for (std::int64_t p = 0; p < k; ++p) panel[p * kNR + jj] = 0.0f;
+      for (std::int64_t jj = width; jj < nr; ++jj) {
+        for (std::int64_t p = 0; p < k; ++p) panel[p * nr + jj] = 0.0f;
       }
     } else {
       for (std::int64_t p = 0; p < k; ++p) {
         const float* src = b + p * n + j0;
-        float* out = panel + p * kNR;
+        float* out = panel + p * nr;
         for (std::int64_t jj = 0; jj < width; ++jj) out[jj] = src[jj];
-        for (std::int64_t jj = width; jj < kNR; ++jj) out[jj] = 0.0f;
+        for (std::int64_t jj = width; jj < nr; ++jj) out[jj] = 0.0f;
       }
     }
   }
 }
 
-// --- 4-lane float vector abstraction ----------------------------------------
-// On GCC/Clang this is the builtin vector type, so the accumulator register
-// layout (kMR x kNR/4 xmm tiles) doesn't depend on the autovectorizer;
-// elsewhere it is a plain struct the optimiser scalarises.  Lane arithmetic
-// is per-lane IEEE mul/add — the same rounding as scalar code — so every
-// formulation below produces identical bits (no reassociation anywhere).
-#if defined(__GNUC__) || defined(__clang__)
-// may_alias: packed panels and C rows are float arrays read through lanes.
-typedef float v4f __attribute__((vector_size(16), may_alias));
-#define FEDHISYN_ALWAYS_INLINE __attribute__((always_inline)) inline
-#define FEDHISYN_RESTRICT __restrict__
-
-inline v4f v4_broadcast(float x) { return v4f{x, x, x, x}; }
-#else
-struct v4f {
-  float lane[4];
-  friend v4f operator+(v4f a, v4f b) {
-    return {{a.lane[0] + b.lane[0], a.lane[1] + b.lane[1], a.lane[2] + b.lane[2],
-             a.lane[3] + b.lane[3]}};
-  }
-  friend v4f operator*(v4f a, v4f b) {
-    return {{a.lane[0] * b.lane[0], a.lane[1] * b.lane[1], a.lane[2] * b.lane[2],
-             a.lane[3] * b.lane[3]}};
-  }
-  v4f& operator+=(v4f o) { return *this = *this + o; }
-};
-#define FEDHISYN_ALWAYS_INLINE inline
-#define FEDHISYN_RESTRICT
-
-inline v4f v4_broadcast(float x) { return {{x, x, x, x}}; }
-#endif
-
-// Unaligned load/store via memcpy (compiles to movups; also sidesteps
-// aliasing rules for the portable struct).
-FEDHISYN_ALWAYS_INLINE v4f v4_loadu(const float* p) {
-  v4f v;
-  std::memcpy(&v, p, sizeof(v));
-  return v;
-}
-FEDHISYN_ALWAYS_INLINE void v4_storeu(float* p, v4f v) {
-  std::memcpy(p, &v, sizeof(v));
-}
-
-static_assert(kNR % 4 == 0);
-constexpr std::int64_t kNV = kNR / 4;
-
-// vacc[ii][jv] += sum_p ap[p,ii] * bp[p, 4*jv..4*jv+3], p ascending.  The
-// zero padding in the packs makes this full-tile loop valid on edges too:
-// padded rows and columns accumulate garbage-free zeros that the store never
-// reads.  Two k steps per iteration halve loop bookkeeping; each accumulator
-// still sees its terms strictly in ascending p order (sequential adds, never
-// a second accumulator), so the unroll is invisible to the bits.
-FEDHISYN_ALWAYS_INLINE void micro_kloop(const float* FEDHISYN_RESTRICT ap,
-                                        const float* FEDHISYN_RESTRICT bp,
-                                        std::int64_t k, v4f vacc[kMR][kNV]) {
-  std::int64_t p = 0;
-  for (; p + 2 <= k; p += 2) {
-    const float* a = ap + p * kMR;
-    const float* b = bp + p * kNR;
-    for (std::int64_t ii = 0; ii < kMR; ++ii) {
-      const v4f ai = v4_broadcast(a[ii]);
-      for (std::int64_t jv = 0; jv < kNV; ++jv) {
-        vacc[ii][jv] += ai * v4_loadu(b + jv * 4);
-      }
-    }
-    const float* a1 = a + kMR;
-    const float* b1 = b + kNR;
-    for (std::int64_t ii = 0; ii < kMR; ++ii) {
-      const v4f ai = v4_broadcast(a1[ii]);
-      for (std::int64_t jv = 0; jv < kNV; ++jv) {
-        vacc[ii][jv] += ai * v4_loadu(b1 + jv * 4);
-      }
-    }
-  }
-  for (; p < k; ++p) {
-    const float* a = ap + p * kMR;
-    const float* b = bp + p * kNR;
-    for (std::int64_t ii = 0; ii < kMR; ++ii) {
-      const v4f ai = v4_broadcast(a[ii]);
-      for (std::int64_t jv = 0; jv < kNV; ++jv) {
-        vacc[ii][jv] += ai * v4_loadu(b + jv * 4);
-      }
-    }
-  }
-}
-
-// One micro-tile: init accumulators (per-variant beta order), run the k loop,
-// store the mr x nr valid corner.  The beta branch is hoisted out of the
-// element loops.  Full tiles keep the accumulators in vector registers end to
-// end; edge tiles marshal through a zero-padded scalar staging tile.
-template <Variant V>
+// One register tile: beta-initialise the staging accumulator (per-op
+// semantics), run the selected k-loop over the full k extent, store the
+// mr_valid x nr_valid corner.  The zero padding in the packs makes the
+// full-tile k-loop valid on edges too: padded rows and columns accumulate
+// garbage-free zeros the store never reads.  Per element this is the exact
+// init/accumulate/store arithmetic of the pre-dispatch kernel, so the bits
+// are unchanged — and identical for every kernel variant.
+template <GemmOp V>
 void run_micro_tile(const float* ap, const float* bp, float* c, std::int64_t n,
-                    std::int64_t k, std::int64_t i0, std::int64_t j0, std::int64_t mr,
-                    std::int64_t nr, float beta) {
-  v4f vacc[kMR][kNV];
-  if (mr == kMR && nr == kNR) {
-    if (V == Variant::kNT || beta == 0.0f) {
-      for (std::int64_t ii = 0; ii < kMR; ++ii) {
-        for (std::int64_t jv = 0; jv < kNV; ++jv) vacc[ii][jv] = v4_broadcast(0.0f);
-      }
-    } else if (beta == 1.0f) {
-      for (std::int64_t ii = 0; ii < kMR; ++ii) {
-        const float* ci = c + (i0 + ii) * n + j0;
-        for (std::int64_t jv = 0; jv < kNV; ++jv) vacc[ii][jv] = v4_loadu(ci + jv * 4);
-      }
-    } else {
-      const v4f vbeta = v4_broadcast(beta);
-      for (std::int64_t ii = 0; ii < kMR; ++ii) {
-        const float* ci = c + (i0 + ii) * n + j0;
-        for (std::int64_t jv = 0; jv < kNV; ++jv) {
-          vacc[ii][jv] = vbeta * v4_loadu(ci + jv * 4);
-        }
-      }
+                    std::int64_t k, std::int64_t i0, std::int64_t j0,
+                    std::int64_t mr_valid, std::int64_t nr_valid, float beta,
+                    const ResolvedGemm& cfg) {
+  alignas(64) float acc[gemmk::kMaxMR * gemmk::kMaxNR];
+  const std::int64_t mr = cfg.mr;
+  const std::int64_t nr = cfg.nr;
+  if (V == GemmOp::kNT || beta == 0.0f) {
+    for (std::int64_t ii = 0; ii < mr; ++ii) {
+      for (std::int64_t jj = 0; jj < nr; ++jj) acc[ii * nr + jj] = 0.0f;
     }
-    micro_kloop(ap, bp, k, vacc);
-    if (V == Variant::kNT && beta != 0.0f) {
-      // beta == 1 multiplies by exactly 1.0f, so one path covers both.
-      const v4f vbeta = v4_broadcast(beta);
-      for (std::int64_t ii = 0; ii < kMR; ++ii) {
-        float* ci = c + (i0 + ii) * n + j0;
-        for (std::int64_t jv = 0; jv < kNV; ++jv) {
-          v4_storeu(ci + jv * 4, vbeta * v4_loadu(ci + jv * 4) + vacc[ii][jv]);
-        }
-      }
-    } else {
-      for (std::int64_t ii = 0; ii < kMR; ++ii) {
-        float* ci = c + (i0 + ii) * n + j0;
-        for (std::int64_t jv = 0; jv < kNV; ++jv) v4_storeu(ci + jv * 4, vacc[ii][jv]);
-      }
-    }
-    return;
-  }
-
-  // Edge tile: stage through a scalar kMR x kNR buffer with the same
-  // per-element init/store semantics (and therefore the same bits).
-  float acc[kMR][kNR];
-  if constexpr (V == Variant::kNT) {
-    for (std::int64_t ii = 0; ii < kMR; ++ii) {
-      for (std::int64_t jj = 0; jj < kNR; ++jj) acc[ii][jj] = 0.0f;
-    }
-  } else {
-    if (beta == 0.0f) {
-      for (std::int64_t ii = 0; ii < kMR; ++ii) {
-        for (std::int64_t jj = 0; jj < kNR; ++jj) acc[ii][jj] = 0.0f;
-      }
-    } else if (beta == 1.0f) {
-      // Guard the row pointer too: forming c + row*n for a padded row past
-      // the end of C would be UB even unread.
-      for (std::int64_t ii = 0; ii < kMR; ++ii) {
-        const float* ci = ii < mr ? c + (i0 + ii) * n + j0 : nullptr;
-        for (std::int64_t jj = 0; jj < kNR; ++jj) {
-          acc[ii][jj] = (ii < mr && jj < nr) ? ci[jj] : 0.0f;
-        }
-      }
-    } else {
-      for (std::int64_t ii = 0; ii < kMR; ++ii) {
-        const float* ci = ii < mr ? c + (i0 + ii) * n + j0 : nullptr;
-        for (std::int64_t jj = 0; jj < kNR; ++jj) {
-          acc[ii][jj] = (ii < mr && jj < nr) ? beta * ci[jj] : 0.0f;
-        }
-      }
-    }
-  }
-  for (std::int64_t ii = 0; ii < kMR; ++ii) {
-    for (std::int64_t jv = 0; jv < kNV; ++jv) vacc[ii][jv] = v4_loadu(&acc[ii][jv * 4]);
-  }
-  micro_kloop(ap, bp, k, vacc);
-  for (std::int64_t ii = 0; ii < kMR; ++ii) {
-    for (std::int64_t jv = 0; jv < kNV; ++jv) v4_storeu(&acc[ii][jv * 4], vacc[ii][jv]);
-  }
-  if constexpr (V == Variant::kNT) {
-    if (beta == 0.0f) {
-      for (std::int64_t ii = 0; ii < mr; ++ii) {
-        float* ci = c + (i0 + ii) * n + j0;
-        for (std::int64_t jj = 0; jj < nr; ++jj) ci[jj] = acc[ii][jj];
-      }
-    } else {
-      for (std::int64_t ii = 0; ii < mr; ++ii) {
-        float* ci = c + (i0 + ii) * n + j0;
-        for (std::int64_t jj = 0; jj < nr; ++jj) ci[jj] = beta * ci[jj] + acc[ii][jj];
+  } else if (beta == 1.0f) {
+    // Guard the row pointer too: forming c + row*n for a padded row past the
+    // end of C would be UB even unread.
+    for (std::int64_t ii = 0; ii < mr; ++ii) {
+      const float* ci = ii < mr_valid ? c + (i0 + ii) * n + j0 : nullptr;
+      for (std::int64_t jj = 0; jj < nr; ++jj) {
+        acc[ii * nr + jj] = (ii < mr_valid && jj < nr_valid) ? ci[jj] : 0.0f;
       }
     }
   } else {
     for (std::int64_t ii = 0; ii < mr; ++ii) {
+      const float* ci = ii < mr_valid ? c + (i0 + ii) * n + j0 : nullptr;
+      for (std::int64_t jj = 0; jj < nr; ++jj) {
+        acc[ii * nr + jj] = (ii < mr_valid && jj < nr_valid) ? beta * ci[jj] : 0.0f;
+      }
+    }
+  }
+  cfg.kloop(ap, bp, k, acc);
+  if (V == GemmOp::kNT && beta != 0.0f) {
+    // beta == 1 multiplies by exactly 1.0f, so one path covers both.
+    for (std::int64_t ii = 0; ii < mr_valid; ++ii) {
       float* ci = c + (i0 + ii) * n + j0;
-      for (std::int64_t jj = 0; jj < nr; ++jj) ci[jj] = acc[ii][jj];
+      for (std::int64_t jj = 0; jj < nr_valid; ++jj) {
+        ci[jj] = beta * ci[jj] + acc[ii * nr + jj];
+      }
+    }
+  } else {
+    for (std::int64_t ii = 0; ii < mr_valid; ++ii) {
+      float* ci = c + (i0 + ii) * n + j0;
+      for (std::int64_t jj = 0; jj < nr_valid; ++jj) ci[jj] = acc[ii * nr + jj];
     }
   }
 }
@@ -330,7 +168,8 @@ void run_micro_tile(const float* ap, const float* bp, float* c, std::int64_t n,
 // call id), a thread that processes consecutive tasks of the same column
 // panel reuses its packed copy instead of re-packing.  Tasks are numbered
 // panel-major for exactly this reason.  Keying on the call id (not the B
-// pointer) makes stale hits impossible across calls.
+// pointer) makes stale hits impossible across calls — including across a
+// test-only gemm_runtime_reinit() changing the kernel between calls.
 std::atomic<std::uint64_t> g_gemm_call_id{1};
 
 struct BPanelMemo {
@@ -339,10 +178,11 @@ struct BPanelMemo {
 };
 thread_local BPanelMemo tl_bpanel;
 
-template <Variant V>
+template <GemmOp V>
 const float* ensure_b_panel(const float* b, std::int64_t k, std::int64_t n,
-                            std::int64_t jc, std::int64_t nc, std::int64_t nc_padded,
-                            std::uint64_t call_id, std::int64_t panel_index) {
+                            std::int64_t jc, std::int64_t nc, std::int64_t nr,
+                            std::int64_t nc_padded, std::uint64_t call_id,
+                            std::int64_t panel_index) {
   // The pool hands out task indices in ascending order, so a thread's tasks
   // for one panel are contiguous: between packing a panel and a memo hit on
   // it there is no intervening kGemmPackB request of a different size, and
@@ -350,18 +190,20 @@ const float* ensure_b_panel(const float* b, std::int64_t k, std::int64_t n,
   auto bp = ScratchArena::buffer(ScratchArena::kGemmPackB,
                                  static_cast<std::size_t>(k * nc_padded));
   if (tl_bpanel.call_id != call_id || tl_bpanel.panel_index != panel_index) {
-    pack_b_panel<V>(b, k, n, jc, nc, bp.data());
+    pack_b_panel<V>(b, k, n, jc, nc, nr, bp.data());
     tl_bpanel = {call_id, panel_index};
   }
   return bp.data();
 }
 
-template <Variant V>
+template <GemmOp V>
 void blocked_gemm(const float* a, const float* b, float* c, std::int64_t m,
-                  std::int64_t k, std::int64_t n, float beta) {
-  const Tiling t = tiling();
-  const std::int64_t row_strips = (m + t.task_rows - 1) / t.task_rows;
-  const std::int64_t col_panels = (n + t.nc - 1) / t.nc;
+                  std::int64_t k, std::int64_t n, float beta,
+                  const ResolvedGemm& cfg) {
+  const std::int64_t mr = cfg.mr;
+  const std::int64_t nr = cfg.nr;
+  const std::int64_t row_strips = (m + cfg.rows - 1) / cfg.rows;
+  const std::int64_t col_panels = (n + cfg.nc - 1) / cfg.nc;
   const std::int64_t tasks = row_strips * col_panels;
   const std::uint64_t call_id =
       g_gemm_call_id.fetch_add(1, std::memory_order_relaxed);
@@ -371,33 +213,33 @@ void blocked_gemm(const float* a, const float* b, float* c, std::int64_t m,
     // per-thread pack memo hits when the pool hands a thread a run of them.
     const std::int64_t panel_index = task / row_strips;
     const std::int64_t strip_index = task % row_strips;
-    const std::int64_t jc = panel_index * t.nc;
-    const std::int64_t nc = std::min(t.nc, n - jc);
-    const std::int64_t nc_padded = ((nc + kNR - 1) / kNR) * kNR;
-    const float* bp =
-        ensure_b_panel<V>(b, k, n, jc, nc, nc_padded, call_id, panel_index);
-    const std::int64_t i_begin = strip_index * t.task_rows;
-    const std::int64_t i_end = std::min(m, i_begin + t.task_rows);
-    const std::int64_t strips = (i_end - i_begin + kMR - 1) / kMR;
+    const std::int64_t jc = panel_index * cfg.nc;
+    const std::int64_t nc = std::min(cfg.nc, n - jc);
+    const std::int64_t nc_padded = ((nc + nr - 1) / nr) * nr;
+    const float* bp = ensure_b_panel<V>(b, k, n, jc, nc, nr, nc_padded, call_id,
+                                        panel_index);
+    const std::int64_t i_begin = strip_index * cfg.rows;
+    const std::int64_t i_end = std::min(m, i_begin + cfg.rows);
+    const std::int64_t strips = (i_end - i_begin + mr - 1) / mr;
     // Pack every A strip of the task up front, then walk B sub-panels in the
-    // outer loop: each (k x kNR) sub-panel is touched once per task and stays
+    // outer loop: each (k x nr) sub-panel is touched once per task and stays
     // L1-hot across the strips, instead of streaming the whole packed panel
     // once per strip.
     auto ap = ScratchArena::buffer(ScratchArena::kGemmPackA,
-                                   static_cast<std::size_t>(strips * k * kMR));
+                                   static_cast<std::size_t>(strips * k * mr));
     for (std::int64_t s = 0; s < strips; ++s) {
-      pack_a_strip<V>(a, m, k, i_begin + s * kMR, ap.data() + s * k * kMR);
+      pack_a_strip<V>(a, m, k, i_begin + s * mr, mr, ap.data() + s * k * mr);
     }
-    for (std::int64_t jr = 0; jr < nc; jr += kNR) {
-      const float* panel = bp + (jr / kNR) * (k * kNR);
-      const std::int64_t nr = std::min(kNR, nc - jr);
+    for (std::int64_t jr = 0; jr < nc; jr += nr) {
+      const float* panel = bp + (jr / nr) * (k * nr);
+      const std::int64_t nr_valid = std::min(nr, nc - jr);
       for (std::int64_t s = 0; s < strips; ++s) {
-        const std::int64_t i0 = i_begin + s * kMR;
+        const std::int64_t i0 = i_begin + s * mr;
         // Clamp to the task boundary, not just m: tasks own disjoint row
         // ranges, so a strip must never write into the next task's rows.
-        const std::int64_t mr = std::min(kMR, i_end - i0);
-        run_micro_tile<V>(ap.data() + s * k * kMR, panel, c, n, k, i0, jc + jr,
-                          mr, nr, beta);
+        const std::int64_t mr_valid = std::min(mr, i_end - i0);
+        run_micro_tile<V>(ap.data() + s * k * mr, panel, c, n, k, i0, jc + jr,
+                          mr_valid, nr_valid, beta, cfg);
       }
     }
   };
@@ -428,13 +270,14 @@ void for_each_row(std::int64_t m, const RowBody& body) {
 
 // Small-matrix kernels: the same per-element reduction order as the blocked
 // path (beta first for NN/TN, beta at store for NT; k terms ascending), so
-// the flop-count cutoff never changes a single bit of the result.
-template <Variant V>
+// the flop-count cutoff never changes a single bit of the result.  Kernel
+// variant and tuning are irrelevant here by construction.
+template <GemmOp V>
 void simple_gemm(const float* a, const float* b, float* c, std::int64_t m,
                  std::int64_t k, std::int64_t n, float beta) {
   for_each_row(m, [&](std::int64_t i) {
     float* ci = c + i * n;
-    if constexpr (V == Variant::kNT) {
+    if constexpr (V == GemmOp::kNT) {
       const float* ai = a + i * k;
       if (beta == 0.0f) {
         for (std::int64_t j = 0; j < n; ++j) {
@@ -458,7 +301,7 @@ void simple_gemm(const float* a, const float* b, float* c, std::int64_t m,
         for (std::int64_t j = 0; j < n; ++j) ci[j] *= beta;
       }
       for (std::int64_t p = 0; p < k; ++p) {
-        const float aip = (V == Variant::kTN) ? a[p * m + i] : a[i * k + p];
+        const float aip = (V == GemmOp::kTN) ? a[p * m + i] : a[i * k + p];
         const float* bp = b + p * n;
         for (std::int64_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
       }
@@ -466,24 +309,36 @@ void simple_gemm(const float* a, const float* b, float* c, std::int64_t m,
   });
 }
 
-template <Variant V>
-void dispatch(const float* a, const float* b, float* c, std::int64_t m,
-              std::int64_t k, std::int64_t n, float beta) {
+}  // namespace
+
+namespace gemmk::detail {
+
+void gemm_run(GemmOp op, const float* a, const float* b, float* c,
+              std::int64_t m, std::int64_t k, std::int64_t n, float beta,
+              const ResolvedGemm& cfg) {
   if (m * k * n < kBlockedFlopThreshold) {
-    simple_gemm<V>(a, b, c, m, k, n, beta);
-  } else {
-    blocked_gemm<V>(a, b, c, m, k, n, beta);
+    switch (op) {
+      case GemmOp::kNN: simple_gemm<GemmOp::kNN>(a, b, c, m, k, n, beta); return;
+      case GemmOp::kNT: simple_gemm<GemmOp::kNT>(a, b, c, m, k, n, beta); return;
+      case GemmOp::kTN: simple_gemm<GemmOp::kTN>(a, b, c, m, k, n, beta); return;
+    }
+  }
+  switch (op) {
+    case GemmOp::kNN: blocked_gemm<GemmOp::kNN>(a, b, c, m, k, n, beta, cfg); return;
+    case GemmOp::kNT: blocked_gemm<GemmOp::kNT>(a, b, c, m, k, n, beta, cfg); return;
+    case GemmOp::kTN: blocked_gemm<GemmOp::kTN>(a, b, c, m, k, n, beta, cfg); return;
   }
 }
 
-}  // namespace
+}  // namespace gemmk::detail
 
 void gemm(std::span<const float> a, std::span<const float> b, std::span<float> c,
           std::int64_t m, std::int64_t k, std::int64_t n, float beta) {
   FEDHISYN_CHECK(static_cast<std::int64_t>(a.size()) >= m * k);
   FEDHISYN_CHECK(static_cast<std::int64_t>(b.size()) >= k * n);
   FEDHISYN_CHECK(static_cast<std::int64_t>(c.size()) >= m * n);
-  dispatch<Variant::kNN>(a.data(), b.data(), c.data(), m, k, n, beta);
+  gemmk::detail::gemm_run(gemmk::GemmOp::kNN, a.data(), b.data(), c.data(), m, k,
+                          n, beta, gemm_runtime_config(gemmk::GemmOp::kNN, n));
 }
 
 void gemm_nt(std::span<const float> a, std::span<const float> b, std::span<float> c,
@@ -491,7 +346,8 @@ void gemm_nt(std::span<const float> a, std::span<const float> b, std::span<float
   FEDHISYN_CHECK(static_cast<std::int64_t>(a.size()) >= m * k);
   FEDHISYN_CHECK(static_cast<std::int64_t>(b.size()) >= n * k);
   FEDHISYN_CHECK(static_cast<std::int64_t>(c.size()) >= m * n);
-  dispatch<Variant::kNT>(a.data(), b.data(), c.data(), m, k, n, beta);
+  gemmk::detail::gemm_run(gemmk::GemmOp::kNT, a.data(), b.data(), c.data(), m, k,
+                          n, beta, gemm_runtime_config(gemmk::GemmOp::kNT, n));
 }
 
 void gemm_tn(std::span<const float> a, std::span<const float> b, std::span<float> c,
@@ -499,7 +355,8 @@ void gemm_tn(std::span<const float> a, std::span<const float> b, std::span<float
   FEDHISYN_CHECK(static_cast<std::int64_t>(a.size()) >= k * m);
   FEDHISYN_CHECK(static_cast<std::int64_t>(b.size()) >= k * n);
   FEDHISYN_CHECK(static_cast<std::int64_t>(c.size()) >= m * n);
-  dispatch<Variant::kTN>(a.data(), b.data(), c.data(), m, k, n, beta);
+  gemmk::detail::gemm_run(gemmk::GemmOp::kTN, a.data(), b.data(), c.data(), m, k,
+                          n, beta, gemm_runtime_config(gemmk::GemmOp::kTN, n));
 }
 
 }  // namespace fedhisyn

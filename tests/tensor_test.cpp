@@ -1,11 +1,17 @@
 // Unit tests for src/tensor: GEMM kernels against a naive reference and an
 // order-exact reference (exact float equality — the blocked kernel must
-// preserve the per-element reduction order), softmax/xent numerics,
-// im2col/col2im adjointness, elementwise ops.
+// preserve the per-element reduction order), the kernel-variant equivalence
+// matrix (every ISA micro-kernel forced via FEDHISYN_GEMM_KERNEL must
+// reproduce the same bits), the tuning-cache round trip, softmax/xent
+// numerics, im2col/col2im adjointness, elementwise ops.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -13,6 +19,7 @@
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "tensor/gemm.hpp"
+#include "tensor/gemm_tune.hpp"
 #include "tensor/im2col.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/tensor.hpp"
@@ -229,6 +236,17 @@ void expect_all_variants_exact(std::int64_t m, std::int64_t k, std::int64_t n,
   }
 }
 
+// Adversarial shapes for the blocked kernel: degenerate m/n/k of 1, sizes
+// straddling register tiles (up to 14x32), the row-strip, and the column
+// panel (512, via n = 520), plus a flop count large enough to cross the
+// simple-path cutoff and dispatch the pool.  Shared between the
+// parameterised suite (default kernel) and the kernel-variant matrix below.
+const std::tuple<int, int, int> kGemmEdgeShapes[] = {
+    {1, 1, 1},   {1, 300, 1},  {1, 37, 300},  {300, 37, 1},
+    {3, 5, 7},   {4, 64, 8},   {5, 64, 9},    {7, 129, 15},
+    {9, 33, 130}, {33, 70, 520}, {64, 256, 96},
+};
+
 class GemmExactShapes
     : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
 
@@ -240,22 +258,278 @@ TEST_P(GemmExactShapes, AllVariantsAllBetasMatchOrderExactReference) {
   }
 }
 
-// Adversarial shapes for the blocked kernel: degenerate m/n/k of 1, sizes
-// straddling the register tile (4x8), the row-strip (8), and the column
-// panel (512, via n = 520), plus a flop count large enough to cross the
-// simple-path cutoff and dispatch the pool.
 INSTANTIATE_TEST_SUITE_P(EdgeShapes, GemmExactShapes,
-                         ::testing::Values(std::make_tuple(1, 1, 1),
-                                           std::make_tuple(1, 300, 1),
-                                           std::make_tuple(1, 37, 300),
-                                           std::make_tuple(300, 37, 1),
-                                           std::make_tuple(3, 5, 7),
-                                           std::make_tuple(4, 64, 8),
-                                           std::make_tuple(5, 64, 9),
-                                           std::make_tuple(7, 129, 15),
-                                           std::make_tuple(9, 33, 130),
-                                           std::make_tuple(33, 70, 520),
-                                           std::make_tuple(64, 256, 96)));
+                         ::testing::ValuesIn(kGemmEdgeShapes));
+
+// --- kernel-variant equivalence + tuning cache -------------------------------
+
+/// RAII wrapper around the documented test-only reinit hook
+/// (gemm_runtime_reinit, see docs/ARCHITECTURE.md): point one FEDHISYN_GEMM_*
+/// env var somewhere, re-resolve the runtime selection, restore both on exit.
+class ScopedGemmEnv {
+ public:
+  ScopedGemmEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value == nullptr) {
+      unsetenv(name);
+    } else {
+      setenv(name, value, /*overwrite=*/1);
+    }
+    gemm_runtime_reinit();
+  }
+  ~ScopedGemmEnv() {
+    if (had_old_) {
+      setenv(name_.c_str(), old_.c_str(), /*overwrite=*/1);
+    } else {
+      unsetenv(name_.c_str());
+    }
+    // Restores run innermost-first, so by the time the outermost scope
+    // unwinds the environment is valid again; swallow nothing silently.
+    gemm_runtime_reinit();
+  }
+  ScopedGemmEnv(const ScopedGemmEnv&) = delete;
+  ScopedGemmEnv& operator=(const ScopedGemmEnv&) = delete;
+
+ private:
+  std::string name_;
+  std::string old_;
+  bool had_old_ = false;
+};
+
+// Every runnable (variant, kernel) catalog entry, forced via the env knob,
+// must reproduce the order-exact reference bits on every edge shape, every
+// beta, all three ops.  The references are the same anchor the default-kernel
+// suite uses, so this is transitively exact equality across all variants.
+TEST(GemmKernelMatrix, AllCatalogEntriesBitIdenticalToOrderExactReference) {
+  const auto catalog = gemm_kernel_catalog();
+  ASSERT_FALSE(catalog.empty());
+  for (const GemmKernelId& id : catalog) {
+    const std::string spec = id.variant + ":" + id.kernel;
+    SCOPED_TRACE(spec);
+    ScopedGemmEnv forced("FEDHISYN_GEMM_KERNEL", spec.c_str());
+    EXPECT_EQ(gemm_runtime_info().variant, id.variant);
+    EXPECT_EQ(gemm_runtime_info().forced_kernel, id.kernel);
+    for (const auto& shape : kGemmEdgeShapes) {
+      const auto [m, k, n] = shape;
+      Rng rng(4000 + m * 131 + k * 17 + n);
+      for (const float beta : {0.0f, 1.0f, 0.5f}) {
+        expect_all_variants_exact(m, k, n, beta, rng);
+      }
+    }
+  }
+}
+
+TEST(GemmKernelMatrix, ForcedBadOrUnsupportedVariantFailsLoudly) {
+  const char* old = std::getenv("FEDHISYN_GEMM_KERNEL");
+  const std::string saved = old != nullptr ? old : "";
+  const bool had_old = old != nullptr;
+
+  // Unknown variant name.
+  setenv("FEDHISYN_GEMM_KERNEL", "bogus", /*overwrite=*/1);
+  EXPECT_THROW(gemm_runtime_reinit(), CheckError);
+  // Known variant, unknown register-tile label.
+  setenv("FEDHISYN_GEMM_KERNEL", "generic:9x9", /*overwrite=*/1);
+  EXPECT_THROW(gemm_runtime_reinit(), CheckError);
+  // A real variant this CPU cannot run (neon on x86, avx2 on aarch64 — one
+  // of the three always qualifies).
+  const auto supported = gemm_supported_variants();
+  for (const std::string candidate : {"avx2", "avx512", "neon"}) {
+    if (std::find(supported.begin(), supported.end(), candidate) !=
+        supported.end()) {
+      continue;
+    }
+    setenv("FEDHISYN_GEMM_KERNEL", candidate.c_str(), /*overwrite=*/1);
+    EXPECT_THROW(gemm_runtime_reinit(), CheckError);
+    break;
+  }
+
+  // A failed reinit leaves the previous (valid) selection intact.
+  if (had_old) {
+    setenv("FEDHISYN_GEMM_KERNEL", saved.c_str(), /*overwrite=*/1);
+  } else {
+    unsetenv("FEDHISYN_GEMM_KERNEL");
+  }
+  gemm_runtime_reinit();
+  Rng rng(11);
+  const auto a = random_vec(4 * 6, rng);
+  const auto b = random_vec(6 * 5, rng);
+  std::vector<float> c(4 * 5);
+  gemm(a, b, c, 4, 6, 5);  // must not throw
+}
+
+TEST(GemmTuneCache, ShapeClassMapping) {
+  EXPECT_EQ(gemm_shape_class(gemmk::GemmOp::kNN, kGemmWideN), "nn/narrow");
+  EXPECT_EQ(gemm_shape_class(gemmk::GemmOp::kNN, kGemmWideN + 1), "nn/wide");
+  EXPECT_EQ(gemm_shape_class(gemmk::GemmOp::kNT, 64), "nt/narrow");
+  EXPECT_EQ(gemm_shape_class(gemmk::GemmOp::kTN, 1024), "tn/wide");
+  EXPECT_EQ(gemm_shape_classes().size(), 6u);
+}
+
+TEST(GemmTuneCache, CodecRejectsMalformedDocuments) {
+  EXPECT_THROW(gemm_tuning_from_json("not json"), CheckError);
+  EXPECT_THROW(gemm_tuning_from_json("{\"schema\": \"wrong/1\"}"), CheckError);
+  EXPECT_THROW(gemm_tuning_from_json(
+                   "{\"schema\": \"fedhisyn-gemm-tune/1\", \"variant\": \"g\"}"),
+               CheckError);
+  // Unknown shape class and non-positive sizes are rejected, not detuned.
+  EXPECT_THROW(
+      gemm_tuning_from_json(
+          "{\"schema\": \"fedhisyn-gemm-tune/1\", \"variant\": \"generic\", "
+          "\"entries\": [{\"class\": \"zz/huge\", \"kernel\": \"4x8\", "
+          "\"nc\": 512, \"rows\": 8}]}"),
+      CheckError);
+  EXPECT_THROW(
+      gemm_tuning_from_json(
+          "{\"schema\": \"fedhisyn-gemm-tune/1\", \"variant\": \"generic\", "
+          "\"entries\": [{\"class\": \"nn/wide\", \"kernel\": \"4x8\", "
+          "\"nc\": 0, \"rows\": 8}]}"),
+      CheckError);
+}
+
+const GemmTuneEntry* find_tune_entry(const GemmTuning& tuning,
+                                     const std::string& shape_class) {
+  for (const GemmTuneEntry& entry : tuning.entries) {
+    if (entry.shape_class == shape_class) return &entry;
+  }
+  return nullptr;
+}
+
+TEST(GemmTuneCache, AutotuneRoundTripSelectsAndKeepsBytesIdentical) {
+  // One exemplar per touched class; tiny min-time keeps the sweep fast.
+  const GemmTuneShape shapes[] = {
+      {gemmk::GemmOp::kNN, 64, 256, 96},
+      {gemmk::GemmOp::kNT, 48, 200, 64},
+      {gemmk::GemmOp::kTN, 96, 64, 300},
+  };
+  const GemmTuning tuning = autotune_gemm(shapes, "generic", 0.05);
+  ASSERT_EQ(tuning.variant, "generic");
+  ASSERT_EQ(tuning.entries.size(), 3u);
+  ASSERT_NE(find_tune_entry(tuning, "nn/narrow"), nullptr);
+  ASSERT_NE(find_tune_entry(tuning, "nt/narrow"), nullptr);
+  ASSERT_NE(find_tune_entry(tuning, "tn/wide"), nullptr);
+
+  // The codec round-trips the tuning exactly (all-integer payload).
+  const GemmTuning reparsed =
+      gemm_tuning_from_json(gemm_tuning_to_json(tuning));
+  ASSERT_EQ(reparsed.variant, tuning.variant);
+  ASSERT_EQ(reparsed.entries.size(), tuning.entries.size());
+  for (std::size_t i = 0; i < tuning.entries.size(); ++i) {
+    EXPECT_EQ(reparsed.entries[i].shape_class, tuning.entries[i].shape_class);
+    EXPECT_EQ(reparsed.entries[i].kernel, tuning.entries[i].kernel);
+    EXPECT_EQ(reparsed.entries[i].nc, tuning.entries[i].nc);
+    EXPECT_EQ(reparsed.entries[i].rows, tuning.entries[i].rows);
+  }
+
+  const std::string path = ::testing::TempDir() + "gemm_tune_roundtrip.json";
+  save_gemm_tuning(tuning, path);
+
+  const std::int64_t m = 64;
+  const std::int64_t k = 256;
+  const std::int64_t n = 96;
+  Rng rng(777);
+  const auto a = random_vec(static_cast<std::size_t>(m * k), rng);
+  const auto b = random_vec(static_cast<std::size_t>(k * n), rng);
+  std::vector<float> plain(static_cast<std::size_t>(m * n));
+  std::vector<float> tuned(static_cast<std::size_t>(m * n));
+
+  ScopedGemmEnv kernel("FEDHISYN_GEMM_KERNEL", "generic");
+  gemm(a, b, plain, m, k, n);
+  {
+    ScopedGemmEnv cache("FEDHISYN_GEMM_TUNE_CACHE", path.c_str());
+    const GemmRuntimeInfo& info = gemm_runtime_info();
+    EXPECT_TRUE(info.cache_loaded);
+    EXPECT_EQ(info.cache_path, path);
+    EXPECT_EQ(info.variant, "generic");
+    // The loaded winners replace the built-in defaults.
+    const GemmTuneEntry* nn = find_tune_entry(tuning, "nn/narrow");
+    const auto& cfg = gemm_runtime_config(gemmk::GemmOp::kNN, n);
+    EXPECT_EQ(cfg.nc, nn->nc);
+    EXPECT_EQ(cfg.rows, nn->rows);
+    gemm(a, b, tuned, m, k, n);
+  }
+  // Tuning reschedules; it must not change a single byte.
+  ASSERT_EQ(0, std::memcmp(plain.data(), tuned.data(),
+                           plain.size() * sizeof(float)));
+}
+
+TEST(GemmTuneCache, HandWrittenCacheOverridesDefaults) {
+  // Non-default tile-grid sizes, written by hand: the runtime must execute
+  // them (selection observable through gemm_runtime_config) with bytes
+  // unchanged versus the defaults.
+  GemmTuning tuning;
+  tuning.variant = "generic";
+  tuning.entries.push_back({"nn/narrow", "4x8", 256, 16});
+  const std::string path = ::testing::TempDir() + "gemm_tune_custom.json";
+  save_gemm_tuning(tuning, path);
+
+  const std::int64_t m = 40;
+  const std::int64_t k = 120;
+  const std::int64_t n = 200;
+  Rng rng(778);
+  const auto a = random_vec(static_cast<std::size_t>(m * k), rng);
+  const auto b = random_vec(static_cast<std::size_t>(k * n), rng);
+  std::vector<float> plain(static_cast<std::size_t>(m * n));
+  std::vector<float> tuned(static_cast<std::size_t>(m * n));
+
+  ScopedGemmEnv kernel("FEDHISYN_GEMM_KERNEL", "generic");
+  // Copy (not reference): reinit rebuilds the runtime slot in place.
+  const std::int64_t default_nc = gemm_runtime_config(gemmk::GemmOp::kNN, n).nc;
+  const std::int64_t default_rows =
+      gemm_runtime_config(gemmk::GemmOp::kNN, n).rows;
+  const std::int64_t other_nc = gemm_runtime_config(gemmk::GemmOp::kNT, n).nc;
+  ASSERT_TRUE(default_nc != 256 || default_rows != 16);
+  gemm(a, b, plain, m, k, n);
+  {
+    ScopedGemmEnv cache("FEDHISYN_GEMM_TUNE_CACHE", path.c_str());
+    EXPECT_TRUE(gemm_runtime_info().cache_loaded);
+    const auto& cfg = gemm_runtime_config(gemmk::GemmOp::kNN, n);
+    EXPECT_EQ(cfg.nc, 256);
+    EXPECT_EQ(cfg.rows, 16);
+    // Untouched classes keep their defaults.
+    EXPECT_EQ(gemm_runtime_config(gemmk::GemmOp::kNT, n).nc, other_nc);
+    gemm(a, b, tuned, m, k, n);
+  }
+  ASSERT_EQ(0, std::memcmp(plain.data(), tuned.data(),
+                           plain.size() * sizeof(float)));
+}
+
+TEST(GemmTuneCache, VariantMismatchIsIgnoredGracefully) {
+  // A cache recorded on another host for a different ISA must not detune or
+  // break the run: it is ignored (with a warning), defaults apply.
+  GemmTuning tuning;
+  tuning.variant = "avx512";
+  tuning.entries.push_back({"nn/narrow", "14x32", 1024, 28});
+  const std::string path = ::testing::TempDir() + "gemm_tune_mismatch.json";
+  save_gemm_tuning(tuning, path);
+
+  ScopedGemmEnv kernel("FEDHISYN_GEMM_KERNEL", "generic");
+  const auto default_nc = gemm_runtime_config(gemmk::GemmOp::kNN, 64).nc;
+  ScopedGemmEnv cache("FEDHISYN_GEMM_TUNE_CACHE", path.c_str());
+  const GemmRuntimeInfo& info = gemm_runtime_info();
+  EXPECT_EQ(info.cache_path, path);
+  EXPECT_FALSE(info.cache_loaded);
+  EXPECT_EQ(gemm_runtime_config(gemmk::GemmOp::kNN, 64).nc, default_nc);
+}
+
+TEST(GemmTuneCache, MalformedCacheFileFailsLoudly) {
+  const std::string path = ::testing::TempDir() + "gemm_tune_broken.json";
+  std::ofstream(path) << "{\"schema\": \"fedhisyn-gemm-tune/1\"";  // truncated
+  const char* old = std::getenv("FEDHISYN_GEMM_TUNE_CACHE");
+  const std::string saved = old != nullptr ? old : "";
+  const bool had_old = old != nullptr;
+  setenv("FEDHISYN_GEMM_TUNE_CACHE", path.c_str(), /*overwrite=*/1);
+  EXPECT_THROW(gemm_runtime_reinit(), CheckError);
+  setenv("FEDHISYN_GEMM_TUNE_CACHE", "/no/such/dir/tune.json", /*overwrite=*/1);
+  EXPECT_THROW(gemm_runtime_reinit(), CheckError);
+  if (had_old) {
+    setenv("FEDHISYN_GEMM_TUNE_CACHE", saved.c_str(), /*overwrite=*/1);
+  } else {
+    unsetenv("FEDHISYN_GEMM_TUNE_CACHE");
+  }
+  gemm_runtime_reinit();
+}
 
 TEST(GemmExact, ExactZeroOperandsTakeNoShortcut) {
   // The old kernel skipped k terms where a == 0.0f; the blocked kernel must
