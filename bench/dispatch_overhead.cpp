@@ -31,9 +31,11 @@
 
 #include "common/check.hpp"
 #include "common/flags.hpp"
+#include "common/hostinfo.hpp"
 #include "common/net.hpp"
 #include "common/subprocess.hpp"
 #include "exp/driver.hpp"
+#include "tensor/gemm_tune.hpp"
 #include "exp/grid.hpp"
 #include "exp/scheduler.hpp"
 
@@ -210,6 +212,7 @@ int main(int argc, char** argv) {
 
   char buf[256];
   std::string json = "{\n  \"schema\": \"fedhisyn-dispatch-overhead/1\",\n";
+  json += "  " + host_json_field(gemm_runtime_info().variant) + ",\n";
   std::snprintf(buf, sizeof(buf), "  \"cells\": %zu,\n  \"jobs\": %zu,\n", cells, jobs);
   json += buf;
   json += "  \"entries\": [\n";

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/hostinfo.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "gemm_shapes.hpp"
@@ -353,6 +354,7 @@ int main(int argc, char** argv) {
 
   std::string json;
   json += "{\n  \"schema\": \"fedhisyn-gemm-sweep/1\",\n";
+  json += "  " + host_json_field(gemm_runtime_info().variant) + ",\n";
   json += "  \"threads\": " + std::to_string(threads) + ",\n";
   json += "  \"min_time_ms\": " + std::to_string(min_time_ms) + ",\n";
   json += "  \"shapes\": [\n";

@@ -26,10 +26,12 @@
 #include <string>
 #include <vector>
 
+#include "common/hostinfo.hpp"
 #include "common/parallel.hpp"
 #include "core/presets.hpp"
 #include "core/registry.hpp"
 #include "core/round_graph.hpp"
+#include "tensor/gemm_tune.hpp"
 
 namespace {
 
@@ -128,6 +130,7 @@ int main(int argc, char** argv) {
 
   std::string json;
   json += "{\n  \"schema\": \"fedhisyn-round-throughput/1\",\n";
+  json += "  " + host_json_field(gemm_runtime_info().variant) + ",\n";
   json += "  \"threads\": " + std::to_string(threads) + ",\n";
   json += "  \"rounds\": " + std::to_string(rounds) + ",\n";
   json += "  \"entries\": [\n";

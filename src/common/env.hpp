@@ -62,6 +62,12 @@
 //   FEDHISYN_QUIET=1         suppress the dispatch workers' per-build cache
 //                            log lines on stderr (--quiet sets this so child
 //                            workers inherit it).
+//   FEDHISYN_TRACE=FILE      write a Chrome-trace/Perfetto JSON timeline of
+//                            the run to FILE (fallback for the grid drivers'
+//                            --trace flag; see common/trace.hpp and
+//                            docs/OBSERVABILITY.md).  Tracing is pure
+//                            observability: result files are byte-identical
+//                            traced or not.
 #pragma once
 
 #include <string>

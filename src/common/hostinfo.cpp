@@ -1,0 +1,50 @@
+#include "common/hostinfo.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/json.hpp"
+
+namespace fedhisyn {
+
+namespace {
+
+std::string trimmed(const char* text) {
+  std::string out = text;
+  while (!out.empty() && (out.back() == '\n' || out.back() == ' ')) out.pop_back();
+  std::size_t begin = 0;
+  while (begin < out.size() && out[begin] == ' ') ++begin;
+  return out.substr(begin);
+}
+
+}  // namespace
+
+std::string cpu_model_name() {
+  std::FILE* file = std::fopen("/proc/cpuinfo", "r");
+  if (file == nullptr) return "unknown";
+  // First matching key wins; "model name" (x86) is preferred over the ARM
+  // fallbacks, so scan for it before settling.
+  std::string fallback;
+  char line[512];
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    const char* colon = std::strchr(line, ':');
+    if (colon == nullptr) continue;
+    if (std::strncmp(line, "model name", 10) == 0) {
+      std::fclose(file);
+      return trimmed(colon + 1);
+    }
+    if (fallback.empty() && (std::strncmp(line, "Hardware", 8) == 0 ||
+                             std::strncmp(line, "CPU implementer", 15) == 0)) {
+      fallback = trimmed(colon + 1);
+    }
+  }
+  std::fclose(file);
+  return fallback.empty() ? "unknown" : fallback;
+}
+
+std::string host_json_field(const std::string& isa) {
+  return "\"host\": {\"cpu\": \"" + json::escape(cpu_model_name()) +
+         "\", \"isa\": \"" + json::escape(isa) + "\"}";
+}
+
+}  // namespace fedhisyn

@@ -1,0 +1,22 @@
+// Host attribution for bench emitters: the BENCH_*.json files carry a
+// `host` metadata block (cpu model + the GEMM ISA variant the runtime
+// picked) so baseline-trajectory entries say *what* they were measured on.
+// tools/bench_gate.py ignores the block entirely — it reads only `schema`
+// and the named entry lists — so host metadata can never gate a run.
+#pragma once
+
+#include <string>
+
+namespace fedhisyn {
+
+/// The CPU model string from /proc/cpuinfo ("model name" on x86, falling
+/// back to "Hardware"/"CPU implementer" fields elsewhere); "unknown" when
+/// nothing readable identifies the CPU.
+std::string cpu_model_name();
+
+/// The `"host": {...}` JSON fragment the benches embed: cpu model plus the
+/// ISA tag passed by the caller (benches pass gemm_runtime_info().variant).
+/// No trailing comma or newline.
+std::string host_json_field(const std::string& isa);
+
+}  // namespace fedhisyn

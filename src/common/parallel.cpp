@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/env.hpp"
+#include "common/trace.hpp"
 
 namespace fedhisyn {
 
@@ -153,6 +154,11 @@ void ParallelExecutor::parallel_for(std::size_t n, const Body& body) {
     run_inline(0);
     return;
   }
+  // Only pooled top-level batches get a span: nested and serial calls run
+  // inline above and would flood the trace with sub-microsecond events.
+  trace::TraceSpan span("parallel_for", "pool");
+  span.arg("n", static_cast<std::int64_t>(n));
+  span.arg("workers", static_cast<std::int64_t>(workers_.size()));
   {
     MutexLock lock(mutex_);
     if (dispatching_) {

@@ -4,7 +4,9 @@
 #include <cstring>
 
 #include "common/check.hpp"
+#include "common/counters.hpp"
 #include "common/parallel.hpp"
+#include "common/trace.hpp"
 
 namespace fedhisyn::core {
 
@@ -85,6 +87,22 @@ bool same_bytes(const std::vector<float>& a, const std::vector<float>& b) {
   return a.size() == b.size() &&
          (a.empty() ||
           std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+// Fold one run's stats into the process counter registry (counts only, no
+// clocks) so --metrics-out totals jobs/waves/speculation across the sweep.
+void record_run_counters(const RoundGraphStats& stats) {
+  static counters::Counter& jobs = counters::counter("round_graph.jobs");
+  static counters::Counter& waves = counters::counter("round_graph.waves");
+  static counters::Counter& speculated =
+      counters::counter("round_graph.speculated");
+  static counters::Counter& accepted = counters::counter("round_graph.accepted");
+  static counters::Counter& reruns = counters::counter("round_graph.reruns");
+  jobs.add(stats.jobs);
+  waves.add(stats.waves);
+  speculated.add(stats.speculated);
+  accepted.add(stats.accepted);
+  reruns.add(stats.reruns);
 }
 
 }  // namespace
@@ -293,6 +311,8 @@ RoundGraphStats RoundGraphExecutor::run(RoundGraph& graph, const TrainFn& train,
   if (mode_ == Mode::kSerial) {
     for (std::size_t j = 0; j < job_count; ++j) {
       if (!live[j]) continue;
+      trace::TraceSpan job_span("train_job", "round_graph");
+      job_span.arg("job", static_cast<std::int64_t>(j));
       auto& out = nodes[static_cast<std::size_t>(graph.outputs_[j])];
       out.value = make_model(j);
       train(jobs[j], out.value, 0);
@@ -301,6 +321,7 @@ RoundGraphStats RoundGraphExecutor::run(RoundGraph& graph, const TrainFn& train,
       release_inputs(j);
     }
     stats.dispatch_slots = stats.jobs;
+    record_run_counters(stats);
     return stats;
   }
 
@@ -360,8 +381,10 @@ RoundGraphStats RoundGraphExecutor::run(RoundGraph& graph, const TrainFn& train,
           out.has_value = true;
           done[j] = 1;
           ++stats.accepted;
+          trace::instant("speculation_accept", "round_graph");
         } else {
           ++stats.reruns;
+          trace::instant("speculation_rerun", "round_graph");
           batch.push_back({j, false});
         }
         spec_guess[j] = {};
@@ -397,8 +420,17 @@ RoundGraphStats RoundGraphExecutor::run(RoundGraph& graph, const TrainFn& train,
     }
 
     if (!batch.empty()) {
+      // The wave span lives on the caller thread and encloses the pool
+      // barrier; train_job spans land on each executing thread's lane (the
+      // caller trains inline as slot 0, so its jobs nest inside the wave).
+      trace::TraceSpan wave_span("wave", "round_graph");
+      wave_span.arg("level", level);
+      wave_span.arg("batch", static_cast<std::int64_t>(batch.size()));
       pool.parallel_for(batch.size(), [&](std::size_t i, std::size_t slot) {
         const auto [j, spec] = batch[i];
+        trace::TraceSpan job_span(spec ? "speculate_job" : "train_job",
+                                  "round_graph");
+        job_span.arg("job", static_cast<std::int64_t>(j));
         if (spec) {
           spec_output[j] = spec_guess[j];
           train(jobs[j], spec_output[j], slot);
@@ -430,6 +462,7 @@ RoundGraphStats RoundGraphExecutor::run(RoundGraph& graph, const TrainFn& train,
     }
   }
   FEDHISYN_CHECK(!has_commit || next_commit == job_count);
+  record_run_counters(stats);
   return stats;
 }
 

@@ -3,7 +3,9 @@
 #include <cstdio>
 #include <utility>
 
+#include "common/counters.hpp"
 #include "common/env.hpp"
+#include "common/trace.hpp"
 
 namespace fedhisyn::exp {
 
@@ -11,6 +13,25 @@ namespace {
 
 double mib(std::size_t bytes) {
   return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+// Registry mirrors of the per-cache tallies: every BuildCache instance adds
+// into one process-wide set of names, so --metrics-out reports cache
+// behaviour whichever backend (thread pool, worker process) owned the cache.
+counters::Counter& hit_counter() {
+  static counters::Counter& counter = counters::counter("build_cache.hits");
+  return counter;
+}
+
+counters::Counter& miss_counter() {
+  static counters::Counter& counter = counters::counter("build_cache.misses");
+  return counter;
+}
+
+counters::Counter& eviction_counter() {
+  static counters::Counter& counter =
+      counters::counter("build_cache.evictions");
+  return counter;
 }
 
 }  // namespace
@@ -47,8 +68,10 @@ std::shared_ptr<const core::BuiltExperiment> BuildCache::get(
       MutexLock lock(mutex_);
       ++misses_;
     }
+    miss_counter().add(1);
     log_line("miss (cache disabled)", key, -1.0);
     if (out_hit != nullptr) *out_hit = false;
+    trace::TraceSpan span("build", "build_cache");
     return core::build_experiment(spec.build);
   }
 
@@ -67,6 +90,7 @@ std::shared_ptr<const core::BuiltExperiment> BuildCache::get(
       ++misses_;
     }
   }
+  (hit ? hit_counter() : miss_counter()).add(1);
   // The miss line prints *before* the build so a warm-up phase that takes
   // tens of seconds is visibly building, not hung.
   log_line(hit ? "hit" : "miss", key, -1.0);
@@ -76,6 +100,7 @@ std::shared_ptr<const core::BuiltExperiment> BuildCache::get(
   bool built_here = false;
   try {
     std::call_once(entry->once, [&] {
+      trace::TraceSpan span("build", "build_cache");
       entry->built = core::build_experiment(spec.build);
       built_here = true;
     });
@@ -134,6 +159,7 @@ void BuildCache::evict_past_budget() {
     resident_bytes_ -= victim.bytes;
     victim.resident = false;
     ++evictions_;
+    eviction_counter().add(1);
     if (!config_.log_tag.empty()) {
       std::fprintf(stderr, "%s: build evict %s: freed %.1f MiB (LRU, budget %.1f MiB)\n",
                    config_.log_tag.c_str(), lru->first.c_str(),

@@ -18,10 +18,12 @@
 #include <unistd.h>
 
 #include "common/check.hpp"
+#include "common/counters.hpp"
 #include "common/env.hpp"
 #include "common/json.hpp"
 #include "common/net.hpp"
 #include "common/subprocess.hpp"
+#include "common/trace.hpp"
 #include "exp/build_cache.hpp"
 
 namespace fedhisyn::exp {
@@ -60,9 +62,17 @@ void validate_hello(const std::string& line, const std::string& who) {
                                                             << " (got: " << line << ")");
 }
 
+/// Per-worker-cell telemetry span cap on the wire: bounds response-line size
+/// (~100 bytes/span) while comfortably covering a cell's waves and GEMMs;
+/// overflow is counted in the block's `dropped`.
+constexpr std::size_t kMaxWireSpans = 4096;
+
 std::string encode_request(const ExperimentSpec& spec, int attempt) {
   std::ostringstream out;
-  out << "{\"attempt\":" << attempt << ",\"spec\":" << spec.to_json() << "}";
+  // `trace` asks the worker to record spans for this cell and ship them in
+  // the response's telemetry block.  Counter deltas come back either way.
+  out << "{\"attempt\":" << attempt << ",\"trace\":" << (trace::enabled() ? 1 : 0)
+      << ",\"spec\":" << spec.to_json() << "}";
   return out.str();
 }
 
@@ -75,6 +85,21 @@ std::string encode_ok_response(const CellResult& cell) {
       << ",\"evictions\":" << cell.cache.evictions
       << ",\"resident_bytes\":" << cell.cache.resident_bytes
       << ",\"resident_builds\":" << cell.cache.resident_builds << "}"
+      << ",\"telemetry\":{\"dropped\":" << cell.telemetry.dropped
+      << ",\"spans\":[";
+  for (std::size_t i = 0; i < cell.telemetry.spans.size(); ++i) {
+    const CellTelemetrySpan& span = cell.telemetry.spans[i];
+    if (i > 0) out << ",";
+    out << "[\"" << json::escape(span.name) << "\",\"" << json::escape(span.cat)
+        << "\"," << span.tid << "," << span.ts_us << "," << span.dur_us << "]";
+  }
+  out << "],\"counters\":{";
+  for (std::size_t i = 0; i < cell.telemetry.counters.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << json::escape(cell.telemetry.counters[i].first)
+        << "\":" << cell.telemetry.counters[i].second;
+  }
+  out << "}}"
       << ",\"algorithm\":\"" << json::escape(result.algorithm) << "\""
       << ",\"final\":" << json::fmt_float(result.final_accuracy)
       << ",\"best\":" << json::fmt_float(result.best_accuracy) << ",\"comm\":";
@@ -155,6 +180,46 @@ Response parse_response(const std::string& line) {
       static_cast<std::size_t>(cache_field("resident_bytes").as_long());
   response.cell.cache.resident_builds =
       static_cast<std::size_t>(cache_field("resident_builds").as_long());
+  // The telemetry block is required like the cache block: spans the worker
+  // recorded for this cell (empty unless the request asked for tracing) plus
+  // its counter deltas.  Strictly shaped — a malformed block fails the cell
+  // loudly instead of silently dropping observability.
+  const json::Value& telemetry = field("telemetry");
+  FEDHISYN_CHECK_MSG(telemetry.kind == json::Value::Kind::kObject,
+                     "worker response 'telemetry' is not an object");
+  const auto telemetry_field = [&](const char* name) -> const json::Value& {
+    const json::Value* value = telemetry.find(name);
+    FEDHISYN_CHECK_MSG(value != nullptr,
+                       "worker response telemetry block lacks '" << name << "'");
+    return *value;
+  };
+  CellTelemetry& tel = response.cell.telemetry;
+  tel.valid = true;
+  tel.dropped = static_cast<std::uint64_t>(telemetry_field("dropped").as_long());
+  const json::Value& spans = telemetry_field("spans");
+  FEDHISYN_CHECK_MSG(spans.kind == json::Value::Kind::kArray,
+                     "worker response telemetry 'spans' is not an array");
+  tel.spans.reserve(spans.items.size());
+  for (const auto& item : spans.items) {
+    FEDHISYN_CHECK_MSG(
+        item.kind == json::Value::Kind::kArray && item.items.size() == 5,
+        "worker response telemetry span is not a 5-tuple");
+    CellTelemetrySpan span;
+    span.name = item.items[0].as_string();
+    span.cat = item.items[1].as_string();
+    span.tid = static_cast<std::uint32_t>(item.items[2].as_long());
+    span.ts_us = item.items[3].as_long();
+    span.dur_us = item.items[4].as_long();
+    tel.spans.push_back(std::move(span));
+  }
+  const json::Value& tel_counters = telemetry_field("counters");
+  FEDHISYN_CHECK_MSG(tel_counters.kind == json::Value::Kind::kObject,
+                     "worker response telemetry 'counters' is not an object");
+  tel.counters.reserve(tel_counters.members.size());
+  for (const auto& [name, value] : tel_counters.members) {
+    tel.counters.emplace_back(name,
+                              static_cast<std::uint64_t>(value.as_long()));
+  }
   core::ExperimentResult& result = response.cell.result;
   result.algorithm = field("algorithm").as_string();
   result.final_accuracy = field("final").as_float();
@@ -256,12 +321,33 @@ std::string handle_request(const std::string& line, BuildCache* cache) {
                        "worker request lacks 'spec'/'attempt'");
     const ExperimentSpec spec = ExperimentSpec::from_json(*spec_value);
     const int attempt = static_cast<int>(attempt_value->as_long());
+    // Absent on requests from a pre-telemetry coordinator: treated as off so
+    // a mixed-version smoke still runs (responses always carry the block).
+    const json::Value* trace_value = doc.find("trace");
+    const bool want_trace = trace_value != nullptr && trace_value->as_long() != 0;
     maybe_inject_crash(spec.label(), attempt);
     maybe_inject_hang(spec.label(), attempt);
 
+    const std::map<std::string, std::uint64_t> counters_before =
+        counters::snapshot();
+    if (want_trace) trace::collect_begin();
     bool hit = false;
     const std::shared_ptr<const core::BuiltExperiment> built = cache->get(spec, &hit);
     CellResult cell = run_cell(spec, *built);
+    cell.telemetry.valid = true;
+    if (want_trace) {
+      const std::vector<trace::CollectedSpan> spans =
+          trace::collect_end(kMaxWireSpans, &cell.telemetry.dropped);
+      cell.telemetry.spans.reserve(spans.size());
+      for (const trace::CollectedSpan& span : spans) {
+        cell.telemetry.spans.push_back(
+            {span.name, span.cat, span.tid, span.ts_us, span.dur_us});
+      }
+    }
+    // Counter deltas ship whether or not tracing is on — counting is always
+    // live, and the coordinator folds them into its own registry.
+    cell.telemetry.counters =
+        counters::delta(counters_before, counters::snapshot());
     const BuildCache::Stats stats = cache->stats();
     cell.cache.valid = true;
     cell.cache.hit = hit;
@@ -375,6 +461,9 @@ struct DispatchConfig {
   /// (unreachable host); its work is reassigned to the surviving slots.
   std::function<std::unique_ptr<WorkerLink>(std::size_t)> connect;
   std::function<void(std::size_t, std::size_t, const CellResult&)> on_cell;
+  /// Human lane titles for the merged trace, one per slot ("worker 0
+  /// (process)", "worker 1 (host:port)"); empty = a generic name.
+  std::vector<std::string> slot_names;
 };
 
 /// The dispatch loop both backends run: feed idle ready workers in spec
@@ -410,12 +499,36 @@ std::vector<CellResult> run_dispatch(const DispatchConfig& config,
     bool timed_out = false;  // hard-killed for exceeding a deadline
     bool retired = false;    // no further (re)connects for this slot
     net::Deadline deadline;  // bounds the hello, then each in-flight cell
+    std::int64_t feed_us = 0;  // trace timestamp of the in-flight request
   };
   std::vector<Slot> slots(config.slots);
   std::deque<std::size_t> pending;
   for (std::size_t i = 0; i < n; ++i) pending.push_back(i);
   std::vector<int> attempts(n, 0);
   std::size_t done = 0;
+
+  // Dispatch-plane observability.  Counters are always live; the trace
+  // lifecycle spans (queue wait, in-flight run, merged worker lanes) record
+  // only while --trace has tracing on, so the untraced loop reads no clock.
+  static counters::Counter& cells_counter = counters::counter("dispatch.cells");
+  static counters::Counter& retries_counter =
+      counters::counter("dispatch.retries");
+  static counters::Counter& timeouts_counter =
+      counters::counter("dispatch.timeouts");
+  static counters::Counter& affinity_counter =
+      counters::counter("dispatch.affinity_hits");
+  const bool tracing = trace::enabled();
+  // Per-cell enqueue time: sweep start, reset when a retry requeues the cell.
+  std::vector<std::int64_t> enqueue_us(tracing ? n : 0, 0);
+  if (tracing) {
+    const std::int64_t start_us = trace::now_us();
+    for (std::size_t i = 0; i < n; ++i) enqueue_us[i] = start_us;
+  }
+  const auto lane_name = [&](std::size_t s) {
+    return s < config.slot_names.size() && !config.slot_names[s].empty()
+               ? config.slot_names[s]
+               : "worker " + std::to_string(s);
+  };
   // Precomputed once: the affinity pass in the feed loop compares keys per
   // idle slot per iteration.
   std::vector<std::string> build_keys;
@@ -471,6 +584,11 @@ std::vector<CellResult> run_dispatch(const DispatchConfig& config,
                    "dispatch: worker died (%s) on cell '%s' (attempt %d/%d); retrying\n",
                    death.str().c_str(), specs[i].label().c_str(), attempts[i],
                    config.max_attempts);
+      retries_counter.add(1);
+      if (tracing) {
+        trace::instant("cell.retry", "dispatch");
+        enqueue_us[i] = trace::now_us();
+      }
       pending.push_front(i);
     } else if (!was_ready) {
       // Never served anything: reconnecting would only repeat the failure.
@@ -497,6 +615,31 @@ std::vector<CellResult> run_dispatch(const DispatchConfig& config,
     FEDHISYN_CHECK_MSG(response.error.empty(), "grid cell '" << specs[i].label()
                                                              << "' failed in worker: "
                                                              << response.error);
+    cells_counter.add(1);
+    // Fold the worker's per-cell counter deltas into this process's registry:
+    // purely additive, so a multi-host sweep's --metrics-out totals the fleet.
+    for (const auto& [name, delta] : response.cell.telemetry.counters) {
+      counters::counter(name).add(delta);
+    }
+    if (tracing) {
+      // The in-flight span on the coordinator lane, named by the cell so the
+      // timeline reads directly...
+      const std::int64_t now = trace::now_us();
+      trace::emit_complete(trace::intern(specs[i].label()), "dispatch",
+                           slot.feed_us, now - slot.feed_us, "cell",
+                           static_cast<std::int64_t>(i), "slot",
+                           static_cast<std::int64_t>(s));
+      // ...and the worker's own spans on its lane, rebased from cell-relative
+      // to coordinator time at the moment the request was fed.  Skew is the
+      // request's network/decode latency — good enough to eyeball overlap.
+      if (response.cell.telemetry.valid) {
+        trace::set_lane_name(1 + static_cast<int>(s), lane_name(s));
+        for (const CellTelemetrySpan& span : response.cell.telemetry.spans) {
+          trace::emit_foreign(1 + static_cast<int>(s), span.tid, span.name,
+                              span.cat, slot.feed_us + span.ts_us, span.dur_us);
+        }
+      }
+    }
     response.cell.spec = specs[i];
     results[i] = std::move(response.cell);
     slot.cell = -1;
@@ -529,6 +672,9 @@ std::vector<CellResult> run_dispatch(const DispatchConfig& config,
         }
       }
       const std::size_t i = *pick;
+      if (!slot.last_key.empty() && build_keys[i] == slot.last_key) {
+        affinity_counter.add(1);
+      }
       pending.erase(pick);
       ++attempts[i];
       slot.cell = static_cast<long>(i);
@@ -536,6 +682,14 @@ std::vector<CellResult> run_dispatch(const DispatchConfig& config,
       slot.timed_out = false;
       if (config.cell_timeout_s > 0) {
         slot.deadline = net::Deadline::after(config.cell_timeout_s);
+      }
+      if (tracing) {
+        // Close the cell's queue-wait interval and open its in-flight one.
+        slot.feed_us = trace::now_us();
+        trace::emit_complete("cell.queued", "dispatch", enqueue_us[i],
+                             slot.feed_us - enqueue_us[i], "cell",
+                             static_cast<std::int64_t>(i), "attempt",
+                             attempts[i]);
       }
       if (!slot.link->send(encode_request(specs[i], attempts[i]) + "\n")) {
         // The worker died before taking the request; its EOF is (or will
@@ -596,6 +750,7 @@ std::vector<CellResult> run_dispatch(const DispatchConfig& config,
       }
       slot.timed_out = true;
       slot.deadline = net::Deadline::never();
+      timeouts_counter.add(1);
       if (slot.cell >= 0) {
         std::fprintf(stderr,
                      "dispatch: cell '%s' exceeded the %gs deadline; killing its "
@@ -701,6 +856,10 @@ std::vector<CellResult> ProcessDispatcher::run(
     return std::make_unique<ProcessLink>(binary, env);
   };
   config.on_cell = options_.on_cell;
+  config.slot_names.reserve(config.slots);
+  for (std::size_t s = 0; s < config.slots; ++s) {
+    config.slot_names.push_back("worker " + std::to_string(s) + " (process)");
+  }
   return run_dispatch(config, specs);
 }
 
@@ -768,6 +927,12 @@ std::vector<CellResult> TcpDispatcher::run(
     }
   };
   config.on_cell = options_.on_cell;
+  config.slot_names.reserve(config.slots);
+  for (std::size_t s = 0; s < config.slots; ++s) {
+    config.slot_names.push_back("worker " + std::to_string(s) + " (" +
+                                hosts[s].host + ":" +
+                                std::to_string(hosts[s].port) + ")");
+  }
   return run_dispatch(config, specs);
 }
 

@@ -1,12 +1,13 @@
 #include "exp/driver.hpp"
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 
 #include "common/check.hpp"
+#include "common/counters.hpp"
 #include "common/parallel.hpp"
+#include "common/trace.hpp"
 #include "core/registry.hpp"
 #include "exp/dispatch.hpp"
 #include "exp/scheduler.hpp"
@@ -136,6 +137,17 @@ GridDriverOptions handle_grid_flags(const Flags& flags) {
                      "--workers only makes sense with --dispatch tcp");
   options.resume = flags.get_bool("resume");
   options.quiet = flags.get_bool("quiet");
+  // Tracing resolves after the worker branches on purpose: a --serve /
+  // --worker-cell worker never sink-traces a whole run — it records per cell
+  // when a request's trace field asks, and FEDHISYN_TRACE is deliberately
+  // not exported to children (each worker's spans travel the wire instead).
+  options.trace_out = flags.get("trace", "");
+  if (options.trace_out.empty()) {
+    const char* env = std::getenv("FEDHISYN_TRACE");
+    if (env != nullptr) options.trace_out = env;
+  }
+  if (!options.trace_out.empty()) trace::set_enabled(true);
+  options.metrics_out = flags.get("metrics-out", "");
   return options;
 }
 
@@ -194,7 +206,7 @@ std::vector<CellResult> run_grid(const std::vector<ExperimentSpec>& specs,
   }
 
   if (!pending_specs.empty()) {
-    const auto start = std::chrono::steady_clock::now();
+    const double start = trace::clock_seconds();
     GridScheduler::Options sched;
     sched.jobs = options.grid_jobs;
     sched.backend = options.dispatch;
@@ -204,20 +216,32 @@ std::vector<CellResult> run_grid(const std::vector<ExperimentSpec>& specs,
     // restores spec order.
     sched.on_cell = [&](std::size_t done, std::size_t count, const CellResult& cell) {
       if (streaming) append_result_line(options.out, to_jsonl_line(cell));
+      // The latency histogram feeds the progress line's p50/p95 and the
+      // --metrics-out dump; recorded even under --quiet so the dump does not
+      // depend on verbosity.
+      static counters::Histogram& latency =
+          counters::histogram("grid.cell_seconds_us");
+      latency.record(static_cast<std::uint64_t>(cell.seconds * 1e6));
       if (options.quiet) return;
-      const double elapsed =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-              .count();
+      const double elapsed = trace::clock_seconds() - start;
       const double eta = elapsed / static_cast<double>(done) *
                          static_cast<double>(count - done);
-      std::fprintf(stderr, "[%zu/%zu] %s  %.1fs  eta %.0fs\n", done, count,
-                   cell.spec.label().c_str(), cell.seconds, eta);
+      std::fprintf(stderr, "[%zu/%zu] %s  %.1fs  p50 %.1fs p95 %.1fs  eta %.0fs\n",
+                   done, count, cell.spec.label().c_str(), cell.seconds,
+                   static_cast<double>(latency.quantile(0.5)) / 1e6,
+                   static_cast<double>(latency.quantile(0.95)) / 1e6, eta);
     };
     auto fresh = GridScheduler(sched).run(pending_specs);
     for (std::size_t k = 0; k < fresh.size(); ++k) {
       results[pending_index[k]] = std::move(fresh[k]);
     }
   }
+
+  // Observability outputs last, after every worker's telemetry is merged.
+  // Distinct files from --out on purpose: neither may ever touch result
+  // bytes.
+  if (!options.trace_out.empty()) trace::write_chrome_trace(options.trace_out);
+  if (!options.metrics_out.empty()) counters::write_metrics(options.metrics_out);
 
   if (!options.out.empty()) {
     if (csv) {

@@ -18,6 +18,18 @@
 //   --quiet           suppress the per-cell progress lines on stderr, and
 //                     (via FEDHISYN_QUIET, which child workers inherit) the
 //                     dispatch workers' per-build cache log lines
+//   --trace FILE      write a Chrome-trace/Perfetto JSON timeline of the
+//                     sweep to FILE (FEDHISYN_TRACE fallback): executor
+//                     batches, round waves, GEMM calls, build-cache builds
+//                     and per-cell dispatch lifecycles, with dispatch
+//                     workers' spans merged onto per-worker lanes
+//                     (common/trace.hpp; docs/OBSERVABILITY.md).  Pure
+//                     observability — result bytes are identical with or
+//                     without it
+//   --metrics-out FILE
+//                     dump the process counter registry (cache hit/miss,
+//                     retries, latency histograms; common/counters.hpp) as
+//                     JSON after the sweep
 //   --build-cache-mb M
 //                     byte budget in MiB (fractional ok) of the shared
 //                     BuiltExperiment cache (exp/build_cache.hpp); 0
@@ -83,6 +95,11 @@ struct GridDriverOptions {
   bool resume = false;
   /// Suppress the per-cell progress lines on stderr.
   bool quiet = false;
+  /// Chrome-trace JSON output path (--trace / FEDHISYN_TRACE); empty = off.
+  /// Non-empty enables trace recording for the whole run.
+  std::string trace_out;
+  /// Counter-registry JSON output path (--metrics-out); empty = off.
+  std::string metrics_out;
 };
 
 /// Apply the flags shared by every grid driver: export --quiet /

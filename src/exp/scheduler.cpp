@@ -1,7 +1,6 @@
 #include "exp/scheduler.hpp"
 
 #include <atomic>
-#include <chrono>
 #include <mutex>
 #include <thread>
 
@@ -12,6 +11,7 @@
 #include "common/env.hpp"
 #include "common/parallel.hpp"
 #include "common/thread_annotations.hpp"
+#include "common/trace.hpp"
 #include "core/registry.hpp"
 #include "exp/build_cache.hpp"
 #include "exp/dispatch.hpp"
@@ -19,11 +19,6 @@
 namespace fedhisyn::exp {
 
 namespace {
-
-double seconds_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-      .count();
-}
 
 /// Copy a cache's counter snapshot (plus this cell's hit/miss) into the
 /// cell's observability block — the same shape the dispatch workers put on
@@ -47,7 +42,10 @@ std::shared_ptr<const core::BuiltExperiment> build_for(const ExperimentSpec& spe
 
 CellResult run_cell(const ExperimentSpec& spec, const core::BuiltExperiment& built,
                     const CellHooks& hooks) {
-  const auto start = std::chrono::steady_clock::now();
+  // trace::clock_seconds is the repo's timing-metadata clock seam;
+  // cell.seconds only ever reaches progress display and the wire, not sinks.
+  const double start = trace::clock_seconds();
+  trace::TraceSpan span("run_cell", "scheduler");
   auto algorithm = core::make_algorithm(spec.method, built.context(spec.opts));
   core::ExperimentRunner runner(spec.build.scale.rounds, spec.resolved_target());
   runner.set_eval_every(spec.eval_every);
@@ -60,7 +58,7 @@ CellResult run_cell(const ExperimentSpec& spec, const core::BuiltExperiment& bui
     const auto weights = algorithm->global_weights();
     hooks.final_weights->assign(weights.begin(), weights.end());
   }
-  cell.seconds = seconds_since(start);
+  cell.seconds = trace::clock_seconds() - start;
   return cell;
 }
 

@@ -51,14 +51,45 @@ struct CellCacheStats {
   std::size_t resident_builds = 0;
 };
 
-/// Everything one finished cell produced.  Wall-clock seconds and the cache
-/// block are reported for humans only — result sinks exclude them so output
-/// files stay byte-stable across thread counts, machines and cache states.
+/// One trace span a dispatch worker recorded while running a cell
+/// (common/trace.hpp collection mode), shipped back on the wire protocol's
+/// `telemetry` block.  Timestamps are microseconds relative to the cell's
+/// start on the worker; the coordinator rebases them onto its own timeline
+/// and files them under the worker's Perfetto lane (pid 1 + slot).
+struct CellTelemetrySpan {
+  std::string name;
+  std::string cat;
+  std::uint32_t tid = 0;
+  std::int64_t ts_us = 0;
+  std::int64_t dur_us = 0;
+};
+
+/// Worker-side observability for one dispatched cell: the spans recorded
+/// while it ran (empty unless the coordinator requested tracing) plus the
+/// cell's counter-registry deltas (always reported — counting is free).
+/// Like `seconds` and the cache block, the JSONL/CSV sinks exclude it, so
+/// output files stay byte-identical traced vs untraced and across backends.
+struct CellTelemetry {
+  /// False when no worker reported telemetry for this cell (thread-backend
+  /// cells record into the coordinator's own buffers instead).
+  bool valid = false;
+  std::vector<CellTelemetrySpan> spans;
+  /// Spans lost to the worker's buffer cap or the wire cap.
+  std::uint64_t dropped = 0;
+  /// Per-cell counter deltas, sorted by name (see common/counters.hpp).
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+};
+
+/// Everything one finished cell produced.  Wall-clock seconds, the cache
+/// block and the telemetry block are reported for humans only — result
+/// sinks exclude them so output files stay byte-stable across thread
+/// counts, machines, cache states and tracing on/off.
 struct CellResult {
   ExperimentSpec spec;
   core::ExperimentResult result;
   double seconds = 0.0;
   CellCacheStats cache;
+  CellTelemetry telemetry;
 };
 
 /// Optional extras for single-cell drivers (the CLI, quickstart).

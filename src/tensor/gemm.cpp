@@ -33,7 +33,9 @@
 #include <cstdint>
 
 #include "common/check.hpp"
+#include "common/counters.hpp"
 #include "common/parallel.hpp"
+#include "common/trace.hpp"
 #include "tensor/gemm_kernel.hpp"
 #include "tensor/gemm_tune.hpp"
 
@@ -209,6 +211,11 @@ void blocked_gemm(const float* a, const float* b, float* c, std::int64_t m,
       g_gemm_call_id.fetch_add(1, std::memory_order_relaxed);
 
   const auto task_body = [&](std::int64_t task) {
+    // Pack-vs-kernel attribution: timed only while tracing is on (the off
+    // path must not read a clock), accumulated as microsecond counters so
+    // --metrics-out splits GEMM time into its memory and compute halves.
+    const bool traced = trace::enabled();
+    const std::int64_t t_start = traced ? trace::now_us() : 0;
     // Panel-major numbering: consecutive tasks share a B panel, so the
     // per-thread pack memo hits when the pool hands a thread a run of them.
     const std::int64_t panel_index = task / row_strips;
@@ -230,6 +237,7 @@ void blocked_gemm(const float* a, const float* b, float* c, std::int64_t m,
     for (std::int64_t s = 0; s < strips; ++s) {
       pack_a_strip<V>(a, m, k, i_begin + s * mr, mr, ap.data() + s * k * mr);
     }
+    const std::int64_t t_packed = traced ? trace::now_us() : 0;
     for (std::int64_t jr = 0; jr < nc; jr += nr) {
       const float* panel = bp + (jr / nr) * (k * nr);
       const std::int64_t nr_valid = std::min(nr, nc - jr);
@@ -241,6 +249,12 @@ void blocked_gemm(const float* a, const float* b, float* c, std::int64_t m,
         run_micro_tile<V>(ap.data() + s * k * mr, panel, c, n, k, i0, jc + jr,
                           mr_valid, nr_valid, beta, cfg);
       }
+    }
+    if (traced) {
+      static counters::Counter& pack_us = counters::counter("gemm.pack_us");
+      static counters::Counter& kernel_us = counters::counter("gemm.kernel_us");
+      pack_us.add(static_cast<std::uint64_t>(t_packed - t_start));
+      kernel_us.add(static_cast<std::uint64_t>(trace::now_us() - t_packed));
     }
   };
 
@@ -309,6 +323,22 @@ void simple_gemm(const float* a, const float* b, float* c, std::int64_t m,
   });
 }
 
+// Interned span name for a (op, n) shape class.  Traced paths only; the
+// one-entry memo makes the common case (repeated calls of one shape per
+// layer) lock-free after the first intern.
+const char* traced_shape_name(GemmOp op, std::int64_t n) {
+  struct Memo {
+    GemmOp op = GemmOp::kNN;
+    std::int64_t n = -1;
+    const char* name = nullptr;
+  };
+  thread_local Memo memo;
+  if (memo.name == nullptr || memo.op != op || memo.n != n) {
+    memo = {op, n, trace::intern(gemm_shape_class(op, n))};
+  }
+  return memo.name;
+}
+
 }  // namespace
 
 namespace gemmk::detail {
@@ -316,6 +346,15 @@ namespace gemmk::detail {
 void gemm_run(GemmOp op, const float* a, const float* b, float* c,
               std::int64_t m, std::int64_t k, std::int64_t n, float beta,
               const ResolvedGemm& cfg) {
+  static counters::Counter& calls = counters::counter("gemm.calls");
+  calls.add(1);
+  // Span name = shape class, so Perfetto's aggregation view groups GEMM
+  // time by the same classes the autotuner keys on; the kernel variant is
+  // process-constant and rides along as a string arg.
+  trace::TraceSpan span(trace::enabled() ? traced_shape_name(op, n) : "gemm",
+                        "gemm");
+  span.sarg("variant", gemm_runtime_info().variant.c_str());
+  span.arg("flops", 2 * m * k * n);
   if (m * k * n < kBlockedFlopThreshold) {
     switch (op) {
       case GemmOp::kNN: simple_gemm<GemmOp::kNN>(a, b, c, m, k, n, beta); return;

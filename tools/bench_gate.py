@@ -29,6 +29,13 @@ floors, not raw measurements: refresh with
 
 then review the diff and round the new values *down* so slower CI runners
 keep headroom (see README "Performance").
+
+Every BENCH_*.json also carries a top-level "host" block (cpu model + the
+GEMM ISA variant the run picked, emitted via src/common/hostinfo.hpp) saying
+what the numbers were measured on.  It is pure provenance: the gate reads
+only "schema" and the named entry lists, so host metadata never affects a
+verdict.  --refresh copies it along with everything else — keep it in the
+committed baseline so the curation note's reference host stays verifiable.
 """
 
 import argparse
@@ -80,7 +87,8 @@ def main():
         shutil.copyfile(args.current, args.baseline)
         print(f"bench_gate: baseline refreshed from {args.current}; "
               "review the diff and round the gate metrics down before "
-              "committing")
+              "committing (the copied 'host' block records where the new "
+              "numbers were measured — it is ignored by the gate)")
         return 0
 
     schema, baseline = load(args.baseline)

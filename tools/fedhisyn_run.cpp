@@ -30,6 +30,8 @@
 //   --target X            rounds-to-target accuracy             [suite default]
 //   --eval-every N                                              [1]
 //   --out PATH            result as one JSONL line (or CSV with *.csv)
+//   --trace PATH          Chrome-trace timeline of the run (FEDHISYN_TRACE)
+//   --metrics-out PATH    counter/histogram registry dump (see exp/driver.hpp)
 //   --history-csv PATH    write the per-round history as CSV
 //   --save-model PATH     save the final global weights (.fhsw)
 //
@@ -40,8 +42,10 @@
 #include <fstream>
 
 #include "common/check.hpp"
+#include "common/counters.hpp"
 #include "common/env.hpp"
 #include "common/flags.hpp"
+#include "common/trace.hpp"
 #include "common/table.hpp"
 #include "core/presets.hpp"
 #include "exp/driver.hpp"
@@ -143,6 +147,13 @@ int run_experiment(const fedhisyn::Flags& flags) {
   // Timing goes to stderr: stdout stays byte-identical across thread counts
   // (the determinism check diffs it).
   std::fprintf(stderr, "wall: %.1fs\n", cell.seconds);
+
+  if (!grid_options.trace_out.empty()) {
+    trace::write_chrome_trace(grid_options.trace_out);
+  }
+  if (!grid_options.metrics_out.empty()) {
+    counters::write_metrics(grid_options.metrics_out);
+  }
 
   if (!grid_options.out.empty()) {
     exp::write_results(grid_options.out, {cell});
